@@ -1,0 +1,103 @@
+// Command mpibench runs the MPIBench communication benchmark on the
+// simulated cluster and writes the measured distributions.
+//
+// Usage:
+//
+//	mpibench -op MPI_Isend -config 64x2 -sizes 0,1024,16384 \
+//	         -reps 300 -out results.json
+//
+// Multiple -config values (comma-separated) produce a result set that
+// cmd/pevpm can use as its performance database. With -summary the
+// per-size statistics print to stdout as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/mpibench"
+)
+
+func main() {
+	op := flag.String("op", "MPI_Isend", "operation to benchmark")
+	configs := flag.String("config", "2x1", "comma-separated nxp placements, e.g. 2x1,64x2")
+	sizesArg := flag.String("sizes", "0,64,256,1024,4096,16384,65536", "comma-separated message sizes (bytes)")
+	reps := flag.Int("reps", 300, "measured repetitions per size")
+	warm := flag.Int("warmup", 20, "warm-up repetitions")
+	binWidth := flag.Float64("binwidth", 5e-6, "histogram bin width (seconds)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "write the result set as JSON to this file")
+	summary := flag.Bool("summary", true, "print per-size summaries")
+	perfect := flag.Bool("perfect-clocks", false, "disable clock drift (ablation)")
+	flag.Parse()
+
+	cfg := cluster.Perseus()
+	sizes, err := parseInts(*sizesArg)
+	if err != nil {
+		fatal(err)
+	}
+	var placements []cluster.Placement
+	for _, s := range strings.Split(*configs, ",") {
+		pl, err := cluster.ParsePlacement(&cfg, strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		placements = append(placements, pl)
+	}
+
+	spec := mpibench.Spec{
+		Op:            mpibench.Op(*op),
+		Sizes:         sizes,
+		Repetitions:   *reps,
+		WarmUp:        *warm,
+		BinWidth:      *binWidth,
+		Seed:          *seed,
+		PerfectClocks: *perfect,
+	}
+	set, err := mpibench.RunSweep(cfg, spec, placements)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		for _, res := range set.Results {
+			fmt.Printf("\n%s %s on %s (%d samples/size, sync residual %.1fµs)\n",
+				res.Op, res.Placement, res.Cluster, res.Samples, res.SyncResidual*1e6)
+			fmt.Printf("%10s %12s %12s %12s %12s %12s\n",
+				"bytes", "min µs", "mean µs", "median µs", "p99 µs", "max µs")
+			for _, pt := range res.Points {
+				fmt.Printf("%10d %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+					pt.Size, pt.Min()*1e6, pt.Avg()*1e6,
+					pt.Hist.Quantile(0.5)*1e6, pt.Hist.Quantile(0.99)*1e6,
+					pt.Hist.Max()*1e6)
+			}
+		}
+	}
+	if *out != "" {
+		if err := set.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command repro regenerates every figure of the paper on the simulated
+// Perseus cluster and prints the series as aligned tables.
+//
+// Usage:
+//
+//	repro [-fig N] [-full] [-seed S]
+//
+// With no -fig flag every figure (1, 2, 3, 4, 6) is produced. -full runs
+// at the paper's sampling density (slower); the default "quick"
+// parameters preserve every qualitative feature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1,2,3,4,6); 0 = all")
+	full := flag.Bool("full", false, "run at the paper's sampling density")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	collectives := flag.Bool("collectives", false, "also print the collective-operation scaling table (thesis companion data)")
+	flag.Parse()
+
+	params := experiments.Quick()
+	if *full {
+		params = experiments.Full()
+	}
+	params.Seed = *seed
+	cfg := cluster.Perseus()
+
+	run := func(n int, f func() error) {
+		if *fig != 0 && *fig != n {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+	run(1, func() error {
+		return printCurves(1, "Average MPI_Isend times, small messages", cfg, params, experiments.Figure1)
+	})
+	run(2, func() error {
+		return printCurves(2, "Average MPI_Isend times, large messages", cfg, params, experiments.Figure2)
+	})
+	run(3, func() error {
+		return printPDFs(3, "MPI_Isend distributions, 64x2, small messages", cfg, params, experiments.Figure3)
+	})
+	run(4, func() error {
+		return printPDFs(4, "MPI_Isend distributions, 64x1, saturation", cfg, params, experiments.Figure4)
+	})
+	run(6, func() error { return printFigure6(cfg, params) })
+	if *collectives {
+		if err := printCollectives(cfg, params); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: collectives: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printCollectives(cfg cluster.Config, p experiments.Params) error {
+	const size = 1024
+	rows, err := experiments.CollectiveTable(cfg, p, size)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Collective scaling (per-rank completion, %d-byte payloads, µs) ==\n", size)
+	fmt.Printf("%-14s%-8s%12s%12s%12s\n", "op", "config", "min", "mean", "p99")
+	for _, r := range rows {
+		fmt.Printf("%-14s%-8s%12.1f%12.1f%12.1f\n", r.Op, r.Placement, r.MinUs, r.MeanUs, r.P99Us)
+	}
+	return nil
+}
+
+func printCurves(n int, title string, cfg cluster.Config, p experiments.Params,
+	f func(cluster.Config, experiments.Params) ([]experiments.Curve, error)) error {
+	curves, err := f(cfg, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Figure %d: %s (time per op, µs) ==\n", n, title)
+	fmt.Printf("%-8s", "bytes")
+	for _, c := range curves {
+		fmt.Printf("%12s", c.Label)
+	}
+	fmt.Println()
+	for i, size := range curves[0].Sizes {
+		fmt.Printf("%-8d", size)
+		for _, c := range curves {
+			fmt.Printf("%12.1f", c.Micros[i])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printPDFs(n int, title string, cfg cluster.Config, p experiments.Params,
+	f func(cluster.Config, experiments.Params) ([]experiments.PDF, error)) error {
+	pdfs, err := f(cfg, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Figure %d: %s ==\n", n, title)
+	for _, pdf := range pdfs {
+		fmt.Printf("\n-- %s: min %.1fµs mean %.1fµs max %.1fµs --\n",
+			pdf.Label, pdf.Min*1e6, pdf.Mean*1e6, pdf.Max*1e6)
+		// A terminal histogram: probability mass per bin.
+		total := uint64(0)
+		for _, b := range pdf.Bins {
+			total += b.Count
+		}
+		shown := 0
+		for _, b := range pdf.Bins {
+			frac := float64(b.Count) / float64(total)
+			if frac < 0.005 && shown > 24 {
+				continue // keep sparse far tails out of the terminal plot
+			}
+			bar := int(frac*200 + 0.5)
+			if bar > 60 {
+				bar = 60
+			}
+			fmt.Printf("%10.1fµs %6.2f%% %s\n", b.Lo*1e6, frac*100, bars(bar))
+			shown++
+		}
+	}
+	return nil
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func printFigure6(cfg cluster.Config, p experiments.Params) error {
+	start := time.Now()
+	res, err := experiments.Figure6(cfg, p, func() float64 { return time.Since(start).Seconds() })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Figure 6: Jacobi speedups, measured vs PEVPM predictions ==\n")
+	fmt.Printf("%-8s%-7s", "config", "procs")
+	for _, s := range res.Series {
+		fmt.Printf("%22s", s.Label)
+	}
+	fmt.Println()
+	measured := res.Series[0]
+	for i := range measured.Procs {
+		fmt.Printf("%-8s%-7d", measured.Configs[i], measured.Procs[i])
+		for _, s := range res.Series {
+			fmt.Printf("%22.2f", s.Speedups[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nmodelled processor time: %.1f s; PEVPM evaluation wall time: %.1f s (%.1fx faster)\n",
+		res.ProcessorSeconds, res.EvalSeconds, res.ProcessorSeconds/res.EvalSeconds)
+	fmt.Println("(the paper reports PEVPM simulating 11h15m of processor time in under 10 minutes, 67.5x)")
+	return nil
+}

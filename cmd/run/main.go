@@ -1,0 +1,127 @@
+// Command run executes one of the bundled workloads on the simulated
+// cluster and reports what happened — optionally with a per-rank
+// timeline (ASCII Gantt) and a Chrome trace-event file for
+// chrome://tracing / Perfetto.
+//
+// Usage:
+//
+//	run -app jacobi -config 8x1 -gantt
+//	run -app taskfarm -config 16x1 -chrome-trace farm.json
+//	run -app fft -machine myrinet -config 16x1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "jacobi", "workload: jacobi, fft, taskfarm, summa")
+	machine := flag.String("machine", "perseus", "cluster: perseus, myrinet")
+	config := flag.String("config", "8x1", "placement in nxp notation")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	iterations := flag.Int("iterations", 50, "jacobi iterations / fft rounds / farm tasks scale")
+	gantt := flag.Bool("gantt", false, "print an ASCII utilisation timeline")
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file")
+	block := flag.Bool("block-placement", false, "use physically contiguous nodes instead of scheduler scatter")
+	flag.Parse()
+
+	var cfg cluster.Config
+	switch *machine {
+	case "perseus":
+		cfg = cluster.Perseus()
+	case "myrinet":
+		cfg = cluster.Myrinet()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	want, err := cluster.ParsePlacement(&cfg, *config)
+	if err != nil {
+		fatal(err)
+	}
+	pl := want
+	if *block {
+		if pl, err = cluster.NewBlockPlacement(&cfg, want.NodeCount, want.PerNode); err != nil {
+			fatal(err)
+		}
+	}
+
+	var program func(c *mpi.Comm)
+	switch *app {
+	case "jacobi":
+		j := workloads.DefaultJacobi()
+		j.Iterations = *iterations
+		program = j.Run
+	case "fft":
+		f := workloads.DefaultFFT()
+		f.Rounds = *iterations
+		program = f.Run
+	case "taskfarm":
+		tf := workloads.DefaultTaskFarm()
+		tf.Tasks = *iterations * 4
+		program = tf.Run
+	case "summa":
+		s := workloads.DefaultSumma()
+		s.Iterations = *iterations
+		program = s.Run
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	e := sim.NewEngine(*seed)
+	net := netsim.New(e, cfg)
+	w := mpi.NewWorld(e, net, pl)
+	tl := trace.NewLog(2_000_000)
+	w.SetTrace(tl)
+	w.Launch(program)
+	end, err := w.Wait()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s %s finished at t=%v\n", *app, cfg.Name, pl, end)
+	st := net.Stats()
+	fmt.Printf("network: %d transfers (%d intra-node, %d cross-switch), %d retransmissions, %.1f MB on the wire\n",
+		st.Transfers, st.IntraNode, st.CrossSwitch, st.Retries, float64(st.WireBytes)/1e6)
+	u := net.UtilizationSince(0)
+	fmt.Printf("busiest: NIC %.0f%%, fabric %.0f%%, backplane segment %.0f%%\n",
+		u.BusiestNICTx*100, u.BusiestFabric*100, u.BusiestSegment*100)
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(tl.Gantt(100))
+		fmt.Println("(C compute, r receive-wait, s send, . idle)")
+	}
+	for _, s := range tl.Summaries() {
+		if s.Rank < 4 || s.Rank == pl.NumProcs()-1 {
+			fmt.Printf("rank%-4d %4d sends %4d recvs  compute %10v  recv-wait %10v\n",
+				s.Rank, s.Sends, s.Recvs, s.Compute, s.RecvWait)
+		}
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+// Package repro reproduces "Communication Benchmarking and Performance
+// Modelling of MPI Programs on Cluster Computers" (Grove & Coddington):
+// the MPIBench communication benchmark and the PEVPM performance
+// modelling tool, together with the simulated commodity cluster they run
+// against. See README.md for the tour and DESIGN.md for the system
+// inventory; bench_test.go regenerates every figure of the paper.
+package repro

@@ -1,0 +1,64 @@
+package cluster
+
+// Myrinet returns a cluster with a Myrinet-2000-class interconnect, the
+// kind of low-latency system-area network the paper contrasts commodity
+// Ethernet against (Grove's thesis validates PEVPM on such machines
+// too). Differences that matter to the model:
+//
+//   - 1.28 Gbit/s links with ~9 µs port-to-port latency and OS-bypass
+//     (GM-style) host overheads of a few microseconds;
+//   - a full-crossbar fabric: per-switch capacity far above the sum of
+//     its ports, with sub-microsecond per-packet routing, so the
+//     switch-fabric contention that dominates Fast Ethernet vanishes;
+//   - source-routed cut-through with link-level flow control: no packet
+//     loss, hence no retransmission timeouts (the RTO path is disabled
+//     by making buffers effectively unbounded).
+//
+// The result, which TestFastNetworkContentionMinor asserts, is the
+// paper's motivating contrast: on such a network, contention moves
+// communication times by percents, not the 70%+ commodity Ethernet
+// shows, and simple average-based models mispredict far less.
+func Myrinet() Config {
+	return Config{
+		Name:           "myrinet",
+		Nodes:          64,
+		CPUsPerNode:    2,
+		PortsPerSwitch: 16,
+
+		LinkRate:      1.28e9,
+		MTU:           4096, // Myrinet packets are not Ethernet frames
+		FrameOverhead: 16,
+		MinFrame:      24,
+
+		SwitchLatency: 0.55e-6,
+		// A crossbar switches all ports concurrently; in this model's
+		// shared-serializer terms that is the aggregate rate, 16 ports
+		// × 1.28 Gbit/s × full duplex.
+		StackRate:      40.96e9,
+		FabricPerFrame: 0.05e-6,
+		FabricJitter:   0.3,
+
+		SendOverhead: 3e-6, // OS-bypass: user-level send
+		RecvOverhead: 3e-6,
+		PerByteCPU:   0.55e-9, // ~1.8 GB/s host copy path
+		JitterSigma:  0.05,
+		SpikeProb:    0.0005,
+		SpikeMin:     50e-6,
+		SpikeMax:     500e-6,
+
+		MemLatency: 8e-6,
+		MemRate:    4e9,
+
+		// Link-level flow control: no drops, no TCP timeouts. Buffers
+		// are set high enough that the drop path never fires.
+		NICBufferBytes:   1 << 30,
+		StackBufferBytes: 1 << 30,
+		MaxDropProb:      0,
+		RTO:              0.01,
+		RTOBackoff:       2,
+		MaxRetries:       12,
+
+		EagerLimit: 16384,
+		CtrlBytes:  32,
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpibench"
+)
+
+func rowFor(t *testing.T, rows []CollectiveRow, op mpibench.Op, procs int) CollectiveRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Op == op && r.Procs == procs {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s at %d procs", op, procs)
+	return CollectiveRow{}
+}
+
+func TestCollectiveTableScaling(t *testing.T) {
+	p := small()
+	p.MaxNodes = 16
+	p.Repetitions = 40
+	rows, err := CollectiveTable(cluster.Perseus(), p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CollectiveOps)*4 { // nodes 2,4,8,16
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinUs <= 0 || r.MeanUs < r.MinUs {
+			t.Errorf("%s %s: implausible stats %+v", r.Op, r.Placement, r)
+		}
+	}
+
+	// Every collective gets slower as machines grow.
+	for _, op := range CollectiveOps {
+		t2 := rowFor(t, rows, op, 2).MeanUs
+		t16 := rowFor(t, rows, op, 16).MeanUs
+		if t16 <= t2 {
+			t.Errorf("%s: 16 procs (%v µs) not slower than 2 (%v µs)", op, t16, t2)
+		}
+	}
+
+	// Binomial broadcast grows logarithmically: going 4→16 procs (2
+	// extra tree levels) must cost far less than 4× the 4-proc time.
+	b4 := rowFor(t, rows, mpibench.OpBcast, 4).MeanUs
+	b16 := rowFor(t, rows, mpibench.OpBcast, 16).MeanUs
+	if ratio := b16 / b4; ratio > 3.2 {
+		t.Errorf("Bcast 4->16 procs ratio %.2f; binomial tree should be ~2", ratio)
+	}
+
+	// Alltoall moves P× the data of Bcast and must dominate it.
+	if a := rowFor(t, rows, mpibench.OpAlltoall, 16); a.MeanUs <= b16 {
+		t.Errorf("Alltoall (%v µs) not slower than Bcast (%v µs) at 16 procs", a.MeanUs, b16)
+	}
+
+	// Reduce's per-rank mean sits BELOW Bcast's: a reduce leaf finishes
+	// after one send, while every bcast rank waits for its subtree of
+	// the root's data. (This asymmetry is exactly why measuring each
+	// rank, not just rank 0, matters — MPIBench's design point.)
+	red := rowFor(t, rows, mpibench.OpReduce, 16).MeanUs
+	if red >= b16 {
+		t.Errorf("Reduce mean %v µs not below Bcast mean %v µs", red, b16)
+	}
+
+	// Allreduce (reduce + bcast in MPICH 1.2) costs more than either
+	// phase alone but less than a few times their sum.
+	all := rowFor(t, rows, mpibench.OpAllreduce, 16).MeanUs
+	if all < b16 || all > (red+b16)*4 {
+		t.Errorf("Allreduce %v µs vs Reduce %v + Bcast %v", all, red, b16)
+	}
+	_ = math.Abs
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// small trims Params so shape tests run in seconds.
+func small() Params {
+	p := Quick()
+	p.Repetitions = 60
+	p.Iterations = 40
+	p.EvalRuns = 4
+	return p
+}
+
+func curveByLabel(t *testing.T, curves []Curve, label string) Curve {
+	t.Helper()
+	for _, c := range curves {
+		if c.Label == label {
+			return c
+		}
+	}
+	t.Fatalf("no curve %q", label)
+	return Curve{}
+}
+
+func at(t *testing.T, c Curve, size int) float64 {
+	t.Helper()
+	for i, s := range c.Sizes {
+		if s == size {
+			return c.Micros[i]
+		}
+	}
+	t.Fatalf("curve %q has no size %d", c.Label, size)
+	return 0
+}
+
+// TestFigure1Claims checks the §3 statements about small messages:
+// averages rise with the number of communicating processes (the paper
+// quotes 70% for 1 KB at 64×1 vs 2×1), the min curve bounds everything
+// below, and more processes per node means more contention.
+func TestFigure1Claims(t *testing.T) {
+	p := small()
+	curves, err := Figure1(cluster.Perseus(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2x1 := curveByLabel(t, curves, "2x1")
+	c64x1 := curveByLabel(t, curves, "64x1")
+	c64x2 := curveByLabel(t, curves, "64x2")
+	min := curveByLabel(t, curves, "min")
+
+	ratio := at(t, c64x1, 1024) / at(t, c2x1, 1024)
+	if ratio < 1.4 || ratio > 2.2 {
+		t.Errorf("64x1/2x1 at 1KB = %.2f, paper reports ~1.7", ratio)
+	}
+	if at(t, c64x2, 1024) <= at(t, c64x1, 1024) {
+		t.Error("two processes per node should add NIC contention at 64 nodes")
+	}
+	// Ordering by contention at 1 KB.
+	prev := 0.0
+	for _, label := range []string{"2x1", "8x1", "32x1", "64x1"} {
+		v := at(t, curveByLabel(t, curves, label), 1024)
+		if v < prev*0.95 { // allow small non-monotonic noise
+			t.Errorf("contention ordering broken at %s: %.1f after %.1f", label, v, prev)
+		}
+		prev = v
+	}
+	// The min curve bounds every average from below at every size.
+	for _, c := range curves {
+		if c.Label == "min" {
+			continue
+		}
+		for i, s := range c.Sizes {
+			if c.Micros[i] < min.Micros[i]*0.999 {
+				t.Errorf("%s at %dB: average %.1fµs below min %.1fµs", c.Label, s, c.Micros[i], min.Micros[i])
+			}
+		}
+	}
+	// The 2x1 average hugs the min curve ("extremely small timing
+	// variations that occur when network congestion is eliminated").
+	if r := at(t, c2x1, 1024) / at(t, min, 1024); r > 1.15 {
+		t.Errorf("2x1 average is %.2fx the min; should be close", r)
+	}
+}
+
+// TestFigure2Claims checks the large-message statements: T = l + b/W
+// fits the uncontended curve, ~81 Mbit/s at 16 KB between two processes,
+// and 64×1 saturates at and beyond 16 KB while 8×1 does not.
+func TestFigure2Claims(t *testing.T) {
+	p := small()
+	curves, err := Figure2(cluster.Perseus(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2x1 := curveByLabel(t, curves, "2x1")
+	c8x1 := curveByLabel(t, curves, "8x1")
+	c64x1 := curveByLabel(t, curves, "64x1")
+
+	// Goodput between two processes at 16 KB (paper: 81 Mbit/s).
+	goodput := 16384 * 8 / (at(t, c2x1, 16384) / 1e6) / 1e6
+	if goodput < 70 || goodput > 90 {
+		t.Errorf("2x1 goodput at 16KB = %.1f Mbit/s, paper reports 81", goodput)
+	}
+
+	// Saturation: the 64×1 curve departs dramatically from 8×1 at 16 KB+.
+	for _, size := range []int{16384, 32768} {
+		r := at(t, c64x1, size) / at(t, c8x1, size)
+		if r < 3 {
+			t.Errorf("64x1/8x1 at %d = %.1f; saturation missing", size, r)
+		}
+	}
+	// No such cliff below the onset.
+	if r := at(t, c64x1, 4096) / at(t, c8x1, 4096); r > 3 {
+		t.Errorf("64x1 already saturated at 4KB (ratio %.1f), onset should be ~16KB", r)
+	}
+
+	// T = l + b/W linearity for the uncontended pair above the knee.
+	d1 := at(t, c2x1, 65536) - at(t, c2x1, 32768)
+	d2 := at(t, c2x1, 131072) - at(t, c2x1, 65536)
+	if math.Abs(d2-2*d1)/d2 > 0.15 {
+		t.Errorf("2x1 curve not linear above knee: deltas %.1f, %.1f", d1, d2)
+	}
+}
+
+// TestFigure3Claims checks the PDF shape statements for small messages
+// under high contention: a bounded minimum with a smooth rise, the peak
+// near the average, and a quickly-decaying tail.
+func TestFigure3Claims(t *testing.T) {
+	p := small()
+	pdfs, err := Figure3(cluster.Perseus(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pdfs) != 4 {
+		t.Fatalf("%d pdfs", len(pdfs))
+	}
+	for _, pdf := range pdfs {
+		if pdf.Min <= 0 {
+			t.Errorf("%s: min %.6f not positive", pdf.Label, pdf.Min)
+		}
+		if len(pdf.Bins) < 3 {
+			t.Errorf("%s: distribution has only %d bins (no dispersion)", pdf.Label, len(pdf.Bins))
+		}
+		// Tail decays quickly: the max is within a few times the mean
+		// (no RTO outliers for small messages in this regime).
+		if pdf.Max > pdf.Mean*20 {
+			t.Errorf("%s: max %.2gms vs mean %.2gms — unexpected outliers", pdf.Label, pdf.Max*1e3, pdf.Mean*1e3)
+		}
+	}
+}
+
+// TestFigure4Claims checks the saturation PDFs: long tails, with
+// retransmission-timeout outliers far beyond the mean.
+func TestFigure4Claims(t *testing.T) {
+	p := small()
+	pdfs, err := Figure4(cluster.Perseus(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRTOTail := false
+	for _, pdf := range pdfs {
+		if pdf.Max > 0.1 { // a 200 ms-class retransmission outlier
+			sawRTOTail = true
+		}
+	}
+	if !sawRTOTail {
+		t.Error("no retransmission-timeout outliers in any saturated distribution")
+	}
+}
+
+// TestFigure6Claims is the paper's headline: distribution-based PEVPM
+// predictions track measured speedups closely at every machine size,
+// while ping-pong-based predictions always overestimate and the error
+// grows with the processor count.
+func TestFigure6Claims(t *testing.T) {
+	p := small()
+	p.MaxNodes = 32 // keep the test quick; the bench runs the full sweep
+	start := time.Now()
+	res, err := Figure6(cluster.Perseus(), p, func() float64 { return time.Since(start).Seconds() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, _ := res.SeriesByLabel("measured")
+	dist, _ := res.SeriesByLabel("pevpm distributions")
+	avg21, _ := res.SeriesByLabel("pevpm avg 2x1")
+	min21, _ := res.SeriesByLabel("pevpm min 2x1")
+	avgNP, _ := res.SeriesByLabel("pevpm avg nxp")
+
+	if len(measured.Procs) == 0 || len(measured.Procs) != len(dist.Procs) {
+		t.Fatal("series misaligned")
+	}
+	var worstDist float64
+	for i := range measured.Procs {
+		m, d := measured.Speedups[i], dist.Speedups[i]
+		rel := math.Abs(d-m) / m
+		if rel > worstDist {
+			worstDist = rel
+		}
+		t.Logf("%-6s measured %6.2f dist %6.2f (%.2f%%) avg2x1 %6.2f min2x1 %6.2f avgnxp %6.2f",
+			measured.Configs[i], m, d, rel*100,
+			avg21.Speedups[i], min21.Speedups[i], avgNP.Speedups[i])
+	}
+	// The paper reports 5% worst / 1% typical at full sampling density;
+	// at this reduced density (400 iterations, 60 reps) the worst case
+	// runs to ~10%, dominated by Monte-Carlo noise and by MPIBench's
+	// distant-pair load pattern overstating backplane contention
+	// relative to Jacobi's neighbour-local traffic (see EXPERIMENTS.md).
+	if worstDist > 0.10 {
+		t.Errorf("distribution-mode prediction error %.1f%% exceeds 10%%", worstDist*100)
+	}
+
+	// Ping-pong (2×1) based predictions must overestimate the speedup of
+	// the large configurations.
+	last := len(measured.Procs) - 1
+	if min21.Speedups[last] <= measured.Speedups[last] {
+		t.Error("min 2x1 prediction should overestimate speedup at the largest size")
+	}
+	if avg21.Speedups[last] <= measured.Speedups[last] {
+		t.Error("avg 2x1 prediction should overestimate speedup at the largest size")
+	}
+
+	// Their error grows with processor count.
+	first := 0
+	errAt := func(s SpeedupSeries, i int) float64 {
+		return math.Abs(s.Speedups[i]-measured.Speedups[i]) / measured.Speedups[i]
+	}
+	if errAt(min21, last) <= errAt(min21, first) {
+		t.Error("min 2x1 error should grow with processors")
+	}
+
+	// avg n×p sits between the distribution mode and the 2×1 modes at
+	// the largest configuration ("results of intermediate quality").
+	if !(errAt(avgNP, last) >= errAt(dist, last)*0.5) {
+		t.Logf("note: avg nxp error %.2f%% vs dist %.2f%%", errAt(avgNP, last)*100, errAt(dist, last)*100)
+	}
+
+	// Evaluation cost: the virtual machine is far faster than the
+	// executions it predicts (the paper reports 67.5×).
+	if res.EvalSeconds <= 0 {
+		t.Fatal("no evaluation cost recorded")
+	}
+	if ratio := res.ProcessorSeconds / res.EvalSeconds; ratio < 10 {
+		t.Errorf("PEVPM only %.1fx faster than the modelled processor time", ratio)
+	}
+}

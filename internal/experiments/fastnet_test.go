@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpibench"
+)
+
+// TestFastNetworkContentionMinor checks the paper's framing claim: the
+// tools are "particularly useful on clusters with commodity Ethernet
+// networks" because that is where contention and its variability bite.
+// On a Myrinet-class network the same 64×1 1 KB experiment shows only a
+// small contention penalty, versus ~1.7× on the simulated Fast Ethernet.
+func TestFastNetworkContentionMinor(t *testing.T) {
+	run := func(cfg cluster.Config, n int) float64 {
+		t.Helper()
+		pl, err := cluster.NewBlockPlacement(&cfg, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Self-paced repetitions: on the fast network a barrier's own
+		// exit skew exceeds the message time, so aligned repetitions
+		// would measure the barrier, not the network.
+		res, err := mpibench.Run(cfg, mpibench.Spec{
+			Op: mpibench.OpIsend, Sizes: []int{1024}, Placement: pl,
+			Repetitions: 80, WarmUp: 10, SyncProbes: 20, Seed: 3,
+			BarrierEvery: 1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, _ := res.PointFor(1024)
+		return pt.Avg()
+	}
+
+	myri := cluster.Myrinet()
+	fast2 := run(myri, 2)
+	fast64 := run(myri, 64)
+	fastRatio := fast64 / fast2
+
+	eth := cluster.Perseus()
+	eth2 := run(eth, 2)
+	eth64 := run(eth, 64)
+	ethRatio := eth64 / eth2
+
+	t.Logf("1KB 64x1/2x1 contention: myrinet %.2fx (2x1=%.1fµs), ethernet %.2fx (2x1=%.1fµs)",
+		fastRatio, fast2*1e6, ethRatio, eth2*1e6)
+
+	// The fast network is an order of magnitude quicker per message...
+	if fast2 > eth2/3 {
+		t.Errorf("myrinet 1KB time %.1fµs not clearly faster than ethernet %.1fµs", fast2*1e6, eth2*1e6)
+	}
+	// ...and nearly contention-free at this scale, while Ethernet's
+	// times rise substantially.
+	if fastRatio > 1.25 {
+		t.Errorf("myrinet contention ratio %.2f; should be minor", fastRatio)
+	}
+	if ethRatio < 1.4 {
+		t.Errorf("ethernet contention ratio %.2f; should be large", ethRatio)
+	}
+	if fastRatio > ethRatio*0.75 {
+		t.Errorf("contention contrast too weak: myrinet %.2f vs ethernet %.2f", fastRatio, ethRatio)
+	}
+}
+
+// TestFastNetworkNoRetransmissions: link-level flow control means no
+// drops even under load that devastates the Ethernet configuration.
+func TestFastNetworkNoRetransmissions(t *testing.T) {
+	cfg := cluster.Myrinet()
+	pl, err := cluster.NewBlockPlacement(&cfg, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpibench.Run(cfg, mpibench.Spec{
+		Op: mpibench.OpIsend, Sizes: []int{65536}, Placement: pl,
+		Repetitions: 60, WarmUp: 5, SyncProbes: 20, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := res.PointFor(65536)
+	// Without RTOs the max cannot be orders of magnitude past the mean.
+	if pt.Hist.Max() > pt.Avg()*10 {
+		t.Errorf("flow-controlled network shows loss-like outliers: mean %.2fms max %.2fms",
+			pt.Avg()*1e3, pt.Hist.Max()*1e3)
+	}
+}

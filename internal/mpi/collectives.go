@@ -1,0 +1,247 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Collective algorithms as MPICH 1.2.0 implemented them: dissemination
+// barrier, binomial-tree broadcast/reduce/gather/scatter, reduce+bcast
+// allreduce, ring allgather and pairwise-exchange alltoall. Collective
+// traffic uses its own matching context so user wildcards cannot steal
+// internal messages; correctness across back-to-back collectives follows
+// from per-pair in-order delivery.
+
+// Internal tags, one per collective operation.
+const (
+	tagBarrier = iota + 1
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+)
+
+// collSend/collRecv are blocking helpers in the collective context.
+func (c *Comm) collSend(dst, tag, size int) { c.Wait(c.isend(ctxCollective, dst, tag, size, nil)) }
+func (c *Comm) collRecv(src, tag int)       { c.Wait(c.irecv(ctxCollective, src, tag)) }
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 P) rounds of pairwise zero-byte exchanges).
+func (c *Comm) Barrier() {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, 0, "Barrier")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, 0, "Barrier")
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.rank + k) % p
+		src := (c.rank - k%p + p) % p
+		sr := c.isend(ctxCollective, dst, tagBarrier, 0, nil)
+		rr := c.irecv(ctxCollective, src, tagBarrier)
+		c.Waitall(sr, rr)
+	}
+}
+
+// Bcast distributes size bytes from root to every rank down a binomial
+// tree. Every rank must call it with the same root and size.
+func (c *Comm) Bcast(root, size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Bcast")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Bcast")
+	c.checkPeer("Bcast root", root)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rel := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			c.collRecv(src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			c.collSend(dst, tagBcast, size)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines size bytes from every rank onto root up a binomial
+// tree (the combining computation itself is charged via the per-byte
+// host cost of each receive).
+func (c *Comm) Reduce(root, size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Reduce")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Reduce")
+	c.checkPeer("Reduce root", root)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rel := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < p {
+				c.collRecv((srcRel+root)%p, tagReduce)
+			}
+		} else {
+			dst := ((rel &^ mask) + root) % p
+			c.collSend(dst, tagReduce, size)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines size bytes across all ranks, leaving the result
+// everywhere (MPICH 1.2 style: reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Allreduce")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Allreduce")
+	c.Reduce(0, size)
+	c.Bcast(0, size)
+}
+
+// Gather collects size bytes from every rank onto root along a binomial
+// tree; interior nodes forward their whole accumulated subtree.
+func (c *Comm) Gather(root, size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Gather")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Gather")
+	c.checkPeer("Gather root", root)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rel := (c.rank - root + p) % p
+	held := size // bytes accumulated at this rank so far
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < p {
+				blocks := mask
+				if p-srcRel < blocks {
+					blocks = p - srcRel
+				}
+				c.collRecv((srcRel+root)%p, tagGather)
+				held += blocks * size
+			}
+		} else {
+			dst := ((rel &^ mask) + root) % p
+			c.collSend(dst, tagGather, held)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Scatter distributes size bytes to every rank from root, the mirror of
+// Gather: each interior node receives its whole subtree's data and
+// forwards the halves downward.
+func (c *Comm) Scatter(root, size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Scatter")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Scatter")
+	c.checkPeer("Scatter root", root)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	rel := (c.rank - root + p) % p
+	mask := 1
+	if rel != 0 {
+		for mask < p {
+			if rel&mask != 0 {
+				src := (rel - mask + root) % p
+				c.collRecv(src, tagScatter)
+				break
+			}
+			mask <<= 1
+		}
+	} else {
+		for mask < p {
+			mask <<= 1
+		}
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			child := rel + mask
+			blocks := mask
+			if p-child < blocks {
+				blocks = p - child
+			}
+			c.collSend((child+root)%p, tagScatter, blocks*size)
+		}
+		mask >>= 1
+	}
+}
+
+// Allgather makes size bytes from every rank available at every rank
+// using the ring algorithm: P−1 steps, each passing one block along.
+func (c *Comm) Allgather(size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Allgather")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Allgather")
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sr := c.isend(ctxCollective, right, tagAllgather, size, nil)
+		rr := c.irecv(ctxCollective, left, tagAllgather)
+		c.Waitall(sr, rr)
+	}
+}
+
+// Alltoall exchanges a distinct size-byte block between every pair of
+// ranks using pairwise exchange: P−1 rounds of simultaneous send/recv
+// with rotating partners.
+func (c *Comm) Alltoall(size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Alltoall")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Alltoall")
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	for step := 1; step < p; step++ {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		sr := c.isend(ctxCollective, dst, tagAlltoall, size, nil)
+		rr := c.irecv(ctxCollective, src, tagAlltoall)
+		c.Waitall(sr, rr)
+	}
+}
+
+// CollectiveName maps an internal collective tag to a printable name
+// (used by traces and tests).
+func CollectiveName(tag int) string {
+	switch tag {
+	case tagBarrier:
+		return "Barrier"
+	case tagBcast:
+		return "Bcast"
+	case tagReduce:
+		return "Reduce"
+	case tagGather:
+		return "Gather"
+	case tagScatter:
+		return "Scatter"
+	case tagAllgather:
+		return "Allgather"
+	case tagAlltoall:
+		return "Alltoall"
+	}
+	return fmt.Sprintf("collective(%d)", tag)
+}

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runCollective launches fn on an n×1 job and waits for completion.
+func runCollective(t *testing.T, ranks int, fn func(c *Comm)) *World {
+	t.Helper()
+	w := quietWorld(t, ranks, 1, 1)
+	w.Launch(fn)
+	if _, err := w.Wait(); err != nil {
+		t.Fatalf("%d ranks: %v", ranks, err)
+	}
+	return w
+}
+
+// Every collective must terminate for awkward (non-power-of-two) sizes.
+func TestCollectivesCompleteAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		runCollective(t, p, func(c *Comm) {
+			c.Barrier()
+			c.Bcast(0, 1000)
+			c.Reduce(0, 1000)
+			c.Allreduce(1000)
+			c.Gather(0, 100)
+			c.Scatter(0, 100)
+			c.Allgather(100)
+			c.Alltoall(100)
+		})
+	}
+}
+
+func TestCollectivesNonZeroRoot(t *testing.T) {
+	for _, p := range []int{3, 6, 8} {
+		root := p - 1
+		runCollective(t, p, func(c *Comm) {
+			c.Bcast(root, 500)
+			c.Reduce(root, 500)
+			c.Gather(root, 50)
+			c.Scatter(root, 50)
+		})
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	// Rank 2 enters the barrier last; nobody may leave before it enters.
+	const ranks = 4
+	var enteredLast sim.Time
+	exits := make([]sim.Time, ranks)
+	runCollective(t, ranks, func(c *Comm) {
+		if c.Rank() == 2 {
+			c.Compute(1.0)
+			enteredLast = c.Now()
+		}
+		c.Barrier()
+		exits[c.Rank()] = c.Now()
+	})
+	for r, exit := range exits {
+		if exit < enteredLast {
+			t.Errorf("rank %d left the barrier at %v, before the last entry at %v",
+				r, exit, enteredLast)
+		}
+	}
+}
+
+func TestBcastWaitsForRoot(t *testing.T) {
+	const ranks = 5
+	var rootSent sim.Time
+	done := make([]sim.Time, ranks)
+	runCollective(t, ranks, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Compute(0.5)
+			rootSent = c.Now()
+		}
+		c.Bcast(0, 10000)
+		done[c.Rank()] = c.Now()
+	})
+	for r := 1; r < ranks; r++ {
+		if done[r] < rootSent {
+			t.Errorf("rank %d finished Bcast at %v before root started at %v", r, done[r], rootSent)
+		}
+	}
+}
+
+func TestBcastLogarithmicDepth(t *testing.T) {
+	// Binomial broadcast should complete in O(log P) message times, far
+	// faster than a linear root-sends-to-everyone loop.
+	timeFor := func(p int) sim.Duration {
+		w := quietWorld(t, p, 1, 1)
+		var dur sim.Duration
+		w.Launch(func(c *Comm) {
+			start := c.Now()
+			c.Bcast(0, 1024)
+			if c.Rank() == 0 {
+				// Root's time understates the collective; use a barrier
+				// to measure full completion.
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				dur = c.Now().Sub(start)
+			}
+		})
+		if _, err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	t16, t64 := timeFor(16), timeFor(64)
+	// log2(64)/log2(16) = 1.5; allow up to 2.5× for barrier overhead and
+	// contention, but a linear algorithm would be 4×.
+	if ratio := float64(t64) / float64(t16); ratio > 3.0 {
+		t.Errorf("Bcast scaling 16→64 ranks = %.2fx, looks linear not logarithmic", ratio)
+	}
+}
+
+func TestReduceFunnelsToRoot(t *testing.T) {
+	// Root cannot finish Reduce before the slowest contributor starts it.
+	const ranks = 6
+	var slowestStart, rootDone sim.Time
+	runCollective(t, ranks, func(c *Comm) {
+		if c.Rank() == 5 {
+			c.Compute(0.7)
+			slowestStart = c.Now()
+		}
+		c.Reduce(0, 4096)
+		if c.Rank() == 0 {
+			rootDone = c.Now()
+		}
+	})
+	if rootDone < slowestStart {
+		t.Errorf("root finished Reduce at %v before the slowest rank started at %v",
+			rootDone, slowestStart)
+	}
+}
+
+func TestUserWildcardCannotStealCollective(t *testing.T) {
+	// Rank 0 posts an any-source any-tag receive, then everyone runs a
+	// barrier, then rank 1 sends the real user message. The wildcard
+	// must match the user message, not barrier-internal traffic.
+	var got Status
+	runCollective(t, 4, func(c *Comm) {
+		var r *Request
+		if c.Rank() == 0 {
+			r = c.Irecv(AnySource, AnyTag)
+		}
+		c.Barrier()
+		if c.Rank() == 1 {
+			c.SendData(0, 42, 8, "user")
+		}
+		if c.Rank() == 0 {
+			got = c.Wait(r)
+		}
+	})
+	if got.Source != 1 || got.Tag != 42 || got.Data != "user" {
+		t.Errorf("wildcard matched %+v, want the user message", got)
+	}
+}
+
+func TestAlltoallHeavierThanAllgather(t *testing.T) {
+	// Alltoall moves P× the data of Allgather's per-rank block; it must
+	// take longer on the same job.
+	timeOf := func(fn func(c *Comm)) sim.Duration {
+		w := quietWorld(t, 8, 1, 1)
+		var dur sim.Duration
+		w.Launch(func(c *Comm) {
+			start := c.Now()
+			fn(c)
+			c.Barrier()
+			if c.Rank() == 0 {
+				dur = c.Now().Sub(start)
+			}
+		})
+		if _, err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	ag := timeOf(func(c *Comm) { c.Allgather(1024) })
+	at := timeOf(func(c *Comm) { c.Alltoall(8192) })
+	if at <= ag {
+		t.Errorf("Alltoall(8K) %v not slower than Allgather(1K) %v", at, ag)
+	}
+}
+
+func TestCollectiveName(t *testing.T) {
+	names := map[int]string{
+		tagBarrier: "Barrier", tagBcast: "Bcast", tagReduce: "Reduce",
+		tagGather: "Gather", tagScatter: "Scatter",
+		tagAllgather: "Allgather", tagAlltoall: "Alltoall",
+	}
+	for tag, want := range names {
+		if got := CollectiveName(tag); got != want {
+			t.Errorf("CollectiveName(%d) = %q", tag, got)
+		}
+	}
+	if got := CollectiveName(99); got != "collective(99)" {
+		t.Errorf("unknown tag: %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Additional MPI operations beyond the core set: synchronous sends,
+// nonblocking tests and probes, and the remaining MPI-1 collectives
+// (Scan, Reduce_scatter). MPICH 1.2.0 provided all of these.
+
+// testPollCost is the CPU time one MPI_Test/MPI_Iprobe poll of the
+// progress engine consumes (a couple of cache-missing queue checks).
+const testPollCost = 0.5e-6
+
+// Issend starts a synchronous-mode send: the request completes only
+// when the receiver has matched the message, regardless of size. MPICH
+// implements it with the rendezvous protocol even for small payloads.
+func (c *Comm) Issend(dst, tag, size int) *Request {
+	c.checkPeer("Issend to", dst)
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: send tag %d must be non-negative", c.rank, tag))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative message size %d", c.rank, size))
+	}
+	cfg := c.w.net.Config()
+	c.w.rec(c.rank, trace.SendStart, dst, tag, size, "")
+	c.hostCost(cfg.SendOverhead, size)
+	env := &envelope{src: c.rank, dst: dst, ctx: ctxUser, tag: tag, size: size}
+	r := &Request{c: c, isSend: true, ctx: ctxUser, src: c.rank, tag: tag, env: env}
+	env.rendezvous = true
+	c.w.nextSendID++
+	env.sendID = c.w.nextSendID
+	c.w.sendReqs[env.sendID] = r
+	c.w.sendPacket(c.rank, dst, pktRTS, cfg.CtrlBytes, env, 0)
+	return r
+}
+
+// Ssend is the blocking synchronous send: returns only once the
+// receiver has started receiving the message.
+func (c *Comm) Ssend(dst, tag, size int) {
+	c.Wait(c.Issend(dst, tag, size))
+}
+
+// Test reports, without blocking, whether the request has completed; on
+// completion it finalises the request exactly like Wait (charging the
+// receive pickup cost) and returns its status.
+func (c *Comm) Test(r *Request) (Status, bool) {
+	if r.c != c {
+		panic("mpi: Test on a request from another rank")
+	}
+	if !r.done {
+		// MPI_Test polls the progress engine, which costs real CPU
+		// time; charging it also guarantees a bare Test spin loop
+		// advances virtual time instead of livelocking the simulation.
+		c.proc.Sleep(sim.DurationFromSeconds(testPollCost))
+		if !r.done {
+			return Status{}, false
+		}
+	}
+	c.chargeCompletion(r)
+	return r.st, true
+}
+
+// Iprobe reports whether a message matching (src, tag) is available
+// without consuming or waiting for it.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	if src != AnySource {
+		c.checkPeer("Iprobe", src)
+	}
+	c.proc.Sleep(sim.DurationFromSeconds(testPollCost))
+	if env := c.w.ranks[c.rank].findUnexpected(ctxUser, src, tag); env != nil {
+		return Status{Source: env.src, Tag: env.tag, Size: env.size, Data: env.data}, true
+	}
+	return Status{}, false
+}
+
+// Internal tags for the extra collectives.
+const (
+	tagScan = iota + 100 // distinct from the core collective tags
+)
+
+// Scan computes an inclusive prefix reduction: rank i receives the
+// combination of contributions 0..i. The classic linear pipeline: each
+// rank receives from rank-1, combines, and forwards to rank+1.
+func (c *Comm) Scan(size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Scan")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Scan")
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if c.rank > 0 {
+		c.collRecv(c.rank-1, tagScan)
+	}
+	if c.rank < p-1 {
+		c.collSend(c.rank+1, tagScan, size)
+	}
+}
+
+// ReduceScatter combines a size·P vector across all ranks and leaves
+// the i-th size-byte block on rank i (MPICH 1.2: reduce to rank 0, then
+// scatter the blocks).
+func (c *Comm) ReduceScatter(size int) {
+	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "ReduceScatter")
+	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "ReduceScatter")
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	c.Reduce(0, size*p)
+	c.Scatter(0, size)
+}

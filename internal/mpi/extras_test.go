@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSsendWaitsForReceiver(t *testing.T) {
+	// Even a tiny synchronous send must block until the receive posts.
+	w := quietWorld(t, 2, 1, 1)
+	var sendDone sim.Time
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Ssend(1, 0, 16)
+			sendDone = c.Now()
+		case 1:
+			c.Compute(0.7)
+			c.Recv(0, 0)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone.Seconds() < 0.7 {
+		t.Errorf("Ssend(16B) completed at %v, before the receive was posted", sendDone)
+	}
+}
+
+func TestTestPollsWithoutBlocking(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	var polls int
+	var got Status
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Compute(0.1)
+			c.Send(1, 3, 64)
+		case 1:
+			r := c.Irecv(0, 3)
+			for {
+				st, done := c.Test(r)
+				if done {
+					got = st
+					break
+				}
+				polls++
+				c.Compute(0.01) // overlap computation with communication
+			}
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Error("Test never returned false while the message was in flight")
+	}
+	if got.Source != 0 || got.Size != 64 {
+		t.Errorf("Test status = %+v", got)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	var before, after bool
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Compute(0.2)
+			c.SendData(1, 9, 128, "x")
+		case 1:
+			_, before = c.Iprobe(0, 9) // too early: nothing there
+			c.Compute(0.5)
+			_, after = c.Iprobe(0, 9) // message has long arrived
+			c.Recv(0, 9)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if before {
+		t.Error("Iprobe saw a message before it was sent")
+	}
+	if !after {
+		t.Error("Iprobe missed the delivered message")
+	}
+}
+
+func TestScanIsPrefixPipeline(t *testing.T) {
+	// Scan completion times must increase along the pipeline.
+	const ranks = 6
+	w := quietWorld(t, ranks, 1, 1)
+	done := make([]sim.Time, ranks)
+	w.Launch(func(c *Comm) {
+		c.Scan(1024)
+		done[c.Rank()] = c.Now()
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < ranks-1; r++ {
+		if done[r] <= done[r-1] {
+			t.Errorf("rank %d finished Scan at %v, not after rank %d (%v)",
+				r, done[r], r-1, done[r-1])
+		}
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		w := quietWorld(t, max(p, 1), 1, 1)
+		w.Launch(func(c *Comm) {
+			c.ReduceScatter(512)
+			c.Barrier()
+		})
+		if _, err := w.Wait(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSsendValidation(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	w.Launch(func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		for name, f := range map[string]func(){
+			"bad dst": func() { c.Ssend(9, 0, 1) },
+			"bad tag": func() { c.Issend(1, -2, 1) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: expected panic", name)
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package mpi
+
+// Matching contexts. User point-to-point traffic and internal collective
+// traffic live in separate namespaces so a wildcard receive can never
+// capture a collective's internal message.
+const (
+	ctxUser = iota
+	ctxCollective
+)
+
+// AnySource and AnyTag are the receive wildcards (MPI_ANY_SOURCE,
+// MPI_ANY_TAG). They are only legal in the user context.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// rankState holds one rank's matching queues. All access happens in
+// engine context, so no locking is needed.
+type rankState struct {
+	comm *Comm
+
+	// unexpected holds envelopes that arrived before a matching receive
+	// was posted, in arrival order (MPI's non-overtaking rule).
+	unexpected []*envelope
+	// posted holds receive requests not yet matched, in post order.
+	posted []*Request
+}
+
+// matches reports whether a posted receive accepts an envelope.
+func matches(r *Request, env *envelope) bool {
+	if r.ctx != env.ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != env.src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// arriveEnvelope processes a newly delivered envelope (eager payload or
+// rendezvous RTS): match it against the oldest posted receive, or queue
+// it as unexpected.
+func (rs *rankState) arriveEnvelope(w *World, env *envelope) {
+	for i, r := range rs.posted {
+		if matches(r, env) {
+			rs.posted = append(rs.posted[:i], rs.posted[i+1:]...)
+			w.matchEnvelope(r, env)
+			return
+		}
+	}
+	rs.unexpected = append(rs.unexpected, env)
+	// Wake the rank in case it is blocked in Probe waiting for exactly
+	// this envelope; a spurious wakeup is harmless (waits re-check).
+	if rs.comm != nil && rs.comm.proc != nil {
+		rs.comm.proc.Unblock()
+	}
+}
+
+// postRecv registers a receive request: match the oldest compatible
+// unexpected envelope, or queue the request.
+func (rs *rankState) postRecv(w *World, r *Request) {
+	for i, env := range rs.unexpected {
+		if matches(r, env) {
+			rs.unexpected = append(rs.unexpected[:i], rs.unexpected[i+1:]...)
+			w.matchEnvelope(r, env)
+			return
+		}
+	}
+	rs.posted = append(rs.posted, r)
+}
+
+// findUnexpected returns the oldest unexpected envelope a (src, tag, ctx)
+// probe would match, without consuming it.
+func (rs *rankState) findUnexpected(ctx, src, tag int) *envelope {
+	probe := &Request{ctx: ctx, src: src, tag: tag}
+	for _, env := range rs.unexpected {
+		if matches(probe, env) {
+			return env
+		}
+	}
+	return nil
+}
+
+// matchEnvelope binds an envelope to a receive request. Eager envelopes
+// complete immediately (the payload travelled with them); rendezvous
+// envelopes trigger the clear-to-send so the payload can flow.
+func (w *World) matchEnvelope(r *Request, env *envelope) {
+	env.matched = r
+	r.env = env
+	if env.dataArrived {
+		w.completeRecv(r, env)
+		return
+	}
+	// Rendezvous: grant the sender clearance. MPICH sends the CTS from
+	// within its progress engine; the receiving rank's CPU cost is
+	// charged when the receive completes.
+	w.sendPacket(env.dst, env.src, pktCTS, w.net.Config().CtrlBytes, nil, env.sendID)
+}
+
+// completeRecv finishes a receive request whose payload has arrived.
+func (w *World) completeRecv(r *Request, env *envelope) {
+	w.completeRequest(r, Status{Source: env.src, Tag: env.tag, Size: env.size, Data: env.data})
+}
+
+// completeRequest marks a request done and wakes its rank if it is
+// blocked in Wait/Waitall/Waitany.
+func (w *World) completeRequest(r *Request, st Status) {
+	if r.done {
+		panic("mpi: request completed twice")
+	}
+	r.done = true
+	r.st = st
+	r.completedAt = w.e.Now()
+	if c := r.c; c != nil && c.proc != nil {
+		c.proc.Unblock()
+	}
+}

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestRandomPermutationTrafficProperty: for random permutations and
+// message sizes, a program where every rank sends to its image and
+// receives from its preimage must terminate with every message
+// delivered exactly once, in order.
+func TestRandomPermutationTrafficProperty(t *testing.T) {
+	cfg := cluster.Perseus()
+	f := func(seed uint64, sizesRaw [4]uint16, ranksRaw uint8) bool {
+		ranks := 2 + int(ranksRaw%14)
+		r := sim.NewRNG(seed)
+		perm := r.Perm(ranks)
+		var sizes []int
+		for _, s := range sizesRaw {
+			sizes = append(sizes, int(s)%40000)
+		}
+
+		e := sim.NewEngine(seed)
+		net := netsim.New(e, cfg)
+		pl, err := cluster.NewPlacement(&cfg, ranks, 1)
+		if err != nil {
+			return false
+		}
+		w := NewWorld(e, net, pl)
+		w.SetComputeModel(cluster.ComputeModel{})
+
+		received := make([][]Status, ranks)
+		inv := make([]int, ranks)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		w.Launch(func(c *Comm) {
+			me := c.Rank()
+			var reqs []*Request
+			for k, size := range sizes {
+				reqs = append(reqs, c.IsendData(perm[me], k, size, k))
+				reqs = append(reqs, c.Irecv(inv[me], k))
+			}
+			c.Waitall(reqs...)
+			for _, rq := range reqs {
+				if !rq.isSend {
+					received[me] = append(received[me], rq.st)
+				}
+			}
+		})
+		if _, err := w.Wait(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for me := 0; me < ranks; me++ {
+			if len(received[me]) != len(sizes) {
+				return false
+			}
+			for _, st := range received[me] {
+				if st.Source != inv[me] || st.Size != sizes[st.Tag] || st.Data != st.Tag {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMessageConservationProperty: random many-to-one traffic — the
+// total number of deliveries equals the total number of sends, no
+// matter the interleaving of sizes and sources.
+func TestMessageConservationProperty(t *testing.T) {
+	cfg := cluster.Perseus()
+	f := func(seed uint64, burst uint8) bool {
+		n := 1 + int(burst%20)
+		const ranks = 6
+		e := sim.NewEngine(seed)
+		net := netsim.New(e, cfg)
+		pl, err := cluster.NewPlacement(&cfg, ranks, 1)
+		if err != nil {
+			return false
+		}
+		w := NewWorld(e, net, pl)
+		w.SetComputeModel(cluster.ComputeModel{})
+		got := 0
+		w.Launch(func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < (ranks-1)*n; i++ {
+					st := c.Recv(AnySource, AnyTag)
+					if st.Size < 0 {
+						t.Errorf("negative size %d", st.Size)
+					}
+					got++
+				}
+				return
+			}
+			r := sim.NewRNG(seed ^ uint64(c.Rank()))
+			for i := 0; i < n; i++ {
+				c.Send(0, i, r.Intn(30000))
+			}
+		})
+		if _, err := w.Wait(); err != nil {
+			return false
+		}
+		return got == (ranks-1)*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVirtualTimeMonotoneProperty: a rank's observed clock never goes
+// backwards across arbitrary operation sequences.
+func TestVirtualTimeMonotoneProperty(t *testing.T) {
+	cfg := cluster.Perseus()
+	f := func(seed uint64) bool {
+		e := sim.NewEngine(seed)
+		net := netsim.New(e, cfg)
+		pl, err := cluster.NewPlacement(&cfg, 4, 1)
+		if err != nil {
+			return false
+		}
+		w := NewWorld(e, net, pl)
+		ok := true
+		w.Launch(func(c *Comm) {
+			r := sim.NewRNG(seed + uint64(c.Rank()))
+			prev := c.Now()
+			check := func() {
+				if now := c.Now(); now < prev {
+					ok = false
+				} else {
+					prev = now
+				}
+			}
+			next := (c.Rank() + 1) % 4
+			prevRank := (c.Rank() + 3) % 4
+			for i := 0; i < 5; i++ {
+				c.Compute(float64(r.Intn(1000)) * 1e-6)
+				check()
+				c.Sendrecv(next, 0, r.Intn(20000), prevRank, 0)
+				check()
+				c.Barrier()
+				check()
+			}
+		})
+		if _, err := w.Wait(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestTraceRecordsUserActivity(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	log := trace.NewLog(0)
+	w.SetTrace(log)
+	w.Launch(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Compute(0.01)
+			c.SendData(1, 5, 256, nil)
+		} else {
+			c.Recv(0, 5)
+		}
+		c.Barrier()
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var sends, recvPosts, recvEnds, computes, collStarts, collEnds int
+	for _, ev := range log.Events() {
+		switch ev.Kind {
+		case trace.SendStart:
+			sends++
+			if ev.Peer != 1 || ev.Tag != 5 || ev.Size != 256 {
+				t.Errorf("send event fields: %+v", ev)
+			}
+		case trace.RecvPost:
+			recvPosts++
+		case trace.RecvEnd:
+			recvEnds++
+			if ev.Peer != 0 || ev.Size != 256 {
+				t.Errorf("recv event fields: %+v", ev)
+			}
+		case trace.ComputeStart:
+			computes++
+		case trace.CollectiveStart:
+			collStarts++
+			if ev.Note != "Barrier" {
+				t.Errorf("collective note %q", ev.Note)
+			}
+		case trace.CollectiveEnd:
+			collEnds++
+		}
+	}
+	if sends != 1 || recvPosts != 1 || recvEnds != 1 || computes != 1 {
+		t.Errorf("user events: sends=%d posts=%d ends=%d computes=%d",
+			sends, recvPosts, recvEnds, computes)
+	}
+	if collStarts != 2 || collEnds != 2 {
+		t.Errorf("collective brackets: %d/%d, want 2/2", collStarts, collEnds)
+	}
+	// Collective-internal messages must NOT leak into the trace: total
+	// send events stay at the single user send.
+	sums := log.Summaries()
+	if sums[0].Sends != 1 || sums[0].BytesSent != 256 {
+		t.Errorf("rank0 summary leaked internal traffic: %+v", sums[0])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	w.Launch(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, 10)
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// No panic, nothing recorded anywhere — just completes.
+}
+
+func TestTraceWaitTimesMatchSimulation(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	log := trace.NewLog(0)
+	w.SetTrace(log)
+	w.Launch(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Compute(0.5)
+			c.Send(1, 0, 64)
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sums := log.Summaries()
+	// Rank 1 posted at ~0 and completed just after 0.5s.
+	if sums[1].RecvWait < sim.DurationFromSeconds(0.5) {
+		t.Errorf("rank1 recv wait %v, want >= 500ms", sums[1].RecvWait)
+	}
+	if sums[0].Compute < sim.DurationFromSeconds(0.49) {
+		t.Errorf("rank0 compute %v, want ~500ms", sums[0].Compute)
+	}
+}

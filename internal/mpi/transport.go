@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// packetKind discriminates the traffic the MPICH/TCP transport produces.
+type packetKind int
+
+const (
+	pktEager packetKind = iota // envelope + full payload (size < EagerLimit)
+	pktRTS                     // rendezvous request-to-send (envelope only)
+	pktCTS                     // rendezvous clear-to-send (receiver ready)
+	pktData                    // rendezvous payload
+)
+
+func (k packetKind) String() string {
+	switch k {
+	case pktEager:
+		return "eager"
+	case pktRTS:
+		return "rts"
+	case pktCTS:
+		return "cts"
+	case pktData:
+		return "data"
+	}
+	return fmt.Sprintf("packetKind(%d)", int(k))
+}
+
+// packet is one transport-level unit travelling between two ranks.
+type packet struct {
+	kind packetKind
+	seq  uint64
+	env  *envelope // eager/RTS/data: the message this packet belongs to
+	id   uint64    // CTS: the send request being cleared
+}
+
+// envelope is a message in flight: the matching key plus payload
+// metadata. For rendezvous messages the envelope arrives first as an RTS
+// and the payload follows after the CTS handshake.
+type envelope struct {
+	src, dst int
+	ctx      int // matching context: user point-to-point or collective
+	tag      int
+	size     int
+	data     any
+
+	rendezvous  bool
+	sendID      uint64   // rendezvous: the sender-side request to clear
+	matched     *Request // receive request this envelope was matched to
+	dataArrived bool     // payload fully at the destination host
+}
+
+// connection resequences packets for one directed rank pair. The
+// simulated network can complete a retransmitted message after younger
+// messages (exactly like packet loss under TCP); the connection holds the
+// younger arrivals back so ranks observe in-order delivery with
+// head-of-line blocking, as TCP guarantees.
+type connection struct {
+	nextSeq uint64
+	held    []*packet // out-of-order arrivals, kept sorted by seq
+}
+
+// sendPacket injects a packet of the given payload size from src to dst,
+// stamping it with the connection's next sequence number.
+func (w *World) sendPacket(src, dst int, kind packetKind, bytes int, env *envelope, id uint64) {
+	key := connKey{src, dst}
+	conn := w.conns[key]
+	if conn == nil {
+		conn = &connection{}
+		w.conns[key] = conn
+	}
+	pkt := &packet{kind: kind, env: env, id: id}
+	pkt.seq = w.seqCounter(key)
+	w.net.Transfer(w.place.NodeOf(src), w.place.NodeOf(dst), bytes, func(netsim.TransferStats) {
+		w.arrive(key, pkt)
+	})
+}
+
+// seqCounters are stored per connection on the sender side; keep them in
+// the connection struct's shadow map to avoid a second map lookup.
+type seqState struct{ next uint64 }
+
+func (w *World) seqCounter(key connKey) uint64 {
+	s := w.seqs[key]
+	if s == nil {
+		s = &seqState{}
+		w.seqs[key] = s
+	}
+	n := s.next
+	s.next++
+	return n
+}
+
+// arrive delivers a packet to the connection, releasing any consecutive
+// run of packets that is now in order.
+func (w *World) arrive(key connKey, pkt *packet) {
+	conn := w.conns[key]
+	if pkt.seq != conn.nextSeq {
+		conn.held = append(conn.held, pkt)
+		sort.Slice(conn.held, func(i, j int) bool { return conn.held[i].seq < conn.held[j].seq })
+		return
+	}
+	w.handlePacket(key, pkt)
+	conn.nextSeq++
+	for len(conn.held) > 0 && conn.held[0].seq == conn.nextSeq {
+		next := conn.held[0]
+		conn.held = conn.held[1:]
+		w.handlePacket(key, next)
+		conn.nextSeq++
+	}
+}
+
+// handlePacket runs in event context with packets arriving in order.
+func (w *World) handlePacket(key connKey, pkt *packet) {
+	switch pkt.kind {
+	case pktEager:
+		pkt.env.dataArrived = true
+		w.ranks[key.dst].arriveEnvelope(w, pkt.env)
+	case pktRTS:
+		w.ranks[key.dst].arriveEnvelope(w, pkt.env)
+	case pktCTS:
+		// Back at the sender: stream the payload. The NIC does this
+		// asynchronously; the sending rank's CPU is not involved again.
+		req := w.sendReqs[pkt.id]
+		if req == nil {
+			panic(fmt.Sprintf("mpi: CTS for unknown send request %d", pkt.id))
+		}
+		env := req.env
+		w.sendPacket(env.src, env.dst, pktData, env.size, env, 0)
+	case pktData:
+		env := pkt.env
+		env.dataArrived = true
+		// Complete the sender side.
+		req := w.sendReqs[env.sendID]
+		if req == nil {
+			panic(fmt.Sprintf("mpi: data for unknown send request %d", env.sendID))
+		}
+		delete(w.sendReqs, env.sendID)
+		w.completeRequest(req, Status{Source: env.src, Tag: env.tag, Size: env.size})
+		// Complete the receiver side (the envelope was matched before
+		// the CTS went out).
+		if env.matched == nil {
+			panic("mpi: rendezvous data arrived for unmatched envelope")
+		}
+		w.completeRecv(env.matched, env)
+	default:
+		panic(fmt.Sprintf("mpi: unknown packet kind %v", pkt.kind))
+	}
+}

@@ -1,0 +1,168 @@
+// Package mpi is a message-passing library with MPI semantics whose
+// processes are goroutine ranks of a discrete-event simulation and whose
+// bytes travel through the internal/netsim network model. It implements
+// the behaviour of MPICH 1.2.0 over TCP — the software the paper
+// benchmarked — including the eager/rendezvous protocol switch at 16 KB,
+// in-order (TCP-like) delivery per rank pair with head-of-line blocking
+// across retransmissions, per-call host CPU overheads, tag/source
+// matching with wildcards, and the classic binomial-tree and
+// dissemination collective algorithms.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// World is one simulated MPI job: a set of ranks placed on cluster nodes,
+// sharing a network.
+type World struct {
+	e       *sim.Engine
+	net     *netsim.Network
+	place   cluster.Placement
+	compute cluster.ComputeModel
+
+	ranks    []*rankState
+	hosts    *sim.RNG // host overhead jitter stream
+	cpu      *sim.RNG // compute jitter stream
+	launched bool
+
+	// tracer, when non-nil, receives a timeline of user-level events
+	// (sends, receives, compute intervals, collective brackets).
+	tracer *trace.Log
+
+	nextSendID uint64
+	sendReqs   map[uint64]*Request
+
+	// connections resequence packets per directed rank pair, mirroring
+	// TCP's in-order delivery (a retransmitted message blocks everything
+	// behind it on the same connection).
+	conns map[connKey]*connection
+	seqs  map[connKey]*seqState
+
+	finish []sim.Time
+}
+
+type connKey struct{ src, dst int }
+
+// NewWorld creates a job of placement.NumProcs() ranks on the network.
+func NewWorld(e *sim.Engine, net *netsim.Network, place cluster.Placement) *World {
+	cfg := net.Config()
+	if _, err := cluster.NewPlacement(&cfg, place.NodeCount, place.PerNode); err != nil {
+		panic(err)
+	}
+	w := &World{
+		e:        e,
+		net:      net,
+		place:    place,
+		compute:  cluster.DefaultComputeModel(),
+		hosts:    e.RNG("mpi.host"),
+		cpu:      e.RNG("mpi.cpu"),
+		sendReqs: make(map[uint64]*Request),
+		conns:    make(map[connKey]*connection),
+		seqs:     make(map[connKey]*seqState),
+		finish:   make([]sim.Time, place.NumProcs()),
+	}
+	w.ranks = make([]*rankState, place.NumProcs())
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{}
+	}
+	return w
+}
+
+// SetComputeModel overrides the serial-segment cost model.
+func (w *World) SetComputeModel(m cluster.ComputeModel) { w.compute = m }
+
+// SetTrace attaches a timeline recorder; pass nil to disable. Only
+// user-level activity is recorded (collectives appear as brackets, not
+// as their internal messages).
+func (w *World) SetTrace(l *trace.Log) { w.tracer = l }
+
+// rec appends a trace event if tracing is enabled.
+func (w *World) rec(rank int, kind trace.Kind, peer, tag, size int, note string) {
+	if w.tracer == nil {
+		return
+	}
+	w.tracer.Record(trace.Event{
+		Time: w.e.Now(), Rank: rank, Kind: kind,
+		Peer: peer, Tag: tag, Size: size, Note: note,
+	})
+}
+
+// Engine returns the simulation engine the job runs on.
+func (w *World) Engine() *sim.Engine { return w.e }
+
+// Network returns the underlying network model.
+func (w *World) Network() *netsim.Network { return w.net }
+
+// Placement returns the job's rank-to-node mapping.
+func (w *World) Placement() cluster.Placement { return w.place }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.place.NumProcs() }
+
+// Launch starts program on every rank. Each rank runs in its own
+// simulated process; the job begins at the current virtual time.
+// Launch may be called once per World.
+func (w *World) Launch(program func(c *Comm)) {
+	if w.launched {
+		panic("mpi: World.Launch called twice")
+	}
+	w.launched = true
+	for rank := 0; rank < w.Size(); rank++ {
+		rank := rank
+		c := &Comm{w: w, rank: rank}
+		w.ranks[rank].comm = c
+		w.e.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			c.proc = p
+			program(c)
+			w.finish[rank] = p.Now()
+		})
+	}
+}
+
+// ErrRanksDidNotFinish reports ranks that never returned from the program
+// even though the simulation ran out of events (should be preceded by a
+// deadlock error from the engine).
+var ErrRanksDidNotFinish = errors.New("mpi: some ranks did not finish")
+
+// Wait runs the simulation until every rank's program returns, and
+// returns the virtual time at which the last rank finished. A deadlock
+// (e.g. mismatched sends/receives) surfaces as an error naming the stuck
+// ranks and the operations they are blocked in.
+func (w *World) Wait() (sim.Time, error) {
+	if !w.launched {
+		return 0, errors.New("mpi: Wait before Launch")
+	}
+	end, err := w.e.Run(sim.Forever)
+	if err != nil {
+		return end, err
+	}
+	var last sim.Time
+	for rank, t := range w.finish {
+		if !w.ranks[rank].comm.proc.Done() {
+			return end, fmt.Errorf("%w: rank %d", ErrRanksDidNotFinish, rank)
+		}
+		if t > last {
+			last = t
+		}
+	}
+	return last, nil
+}
+
+// FinishTimes returns the virtual time each rank's program returned at;
+// valid after Wait succeeds.
+func (w *World) FinishTimes() []sim.Time {
+	out := make([]sim.Time, len(w.finish))
+	copy(out, w.finish)
+	return out
+}
+
+// Shutdown releases rank goroutines after an aborted run (deadlock or
+// horizon cut). The World must not be used afterwards.
+func (w *World) Shutdown() { w.e.Shutdown() }

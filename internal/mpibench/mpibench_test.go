@@ -1,0 +1,263 @@
+package mpibench
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func place(t *testing.T, cfg *cluster.Config, n, p int) cluster.Placement {
+	t.Helper()
+	pl, err := cluster.NewPlacement(cfg, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// blockPlace builds a physically contiguous placement — the layout the
+// paper's network-characterisation experiments reason about.
+func blockPlace(t *testing.T, cfg *cluster.Config, n, p int) cluster.Placement {
+	t.Helper()
+	pl, err := cluster.NewBlockPlacement(cfg, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func quickSpec(pl cluster.Placement, op Op, sizes ...int) Spec {
+	return Spec{
+		Op:          op,
+		Sizes:       sizes,
+		Placement:   pl,
+		Repetitions: 80,
+		WarmUp:      10,
+		SyncProbes:  20,
+		BinWidth:    5e-6,
+		Seed:        1,
+	}
+}
+
+func TestIsendTwoByOne(t *testing.T) {
+	cfg := cluster.Perseus()
+	res, err := Run(cfg, quickSpec(place(t, &cfg, 2, 1), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != OpIsend || res.Placement != "2x1" || res.Procs != 2 {
+		t.Errorf("result header: %+v", res)
+	}
+	p, ok := res.PointFor(1024)
+	if !ok {
+		t.Fatal("no point for size 1024")
+	}
+	// Both ranks record 80 measured one-way times.
+	if p.Hist.Count() < 150 {
+		t.Errorf("samples = %d, want ~160", p.Hist.Count())
+	}
+	// One-way 1 KB time on uncontended simulated Perseus: 150–450 µs.
+	if m := p.Avg(); m < 150e-6 || m > 450e-6 {
+		t.Errorf("mean one-way time %.1f µs out of plausible range", m*1e6)
+	}
+	// The minimum must be below the mean but the distribution narrow.
+	if p.Min() >= p.Avg() {
+		t.Error("min >= mean")
+	}
+	if spread := p.Avg() - p.Min(); spread > 200e-6 {
+		t.Errorf("2x1 spread %.1f µs too wide for an uncontended link", spread*1e6)
+	}
+}
+
+func TestClockSyncAccuracy(t *testing.T) {
+	// The clocks start seconds apart with ±50 ppm drift. If the global
+	// clock correction failed, one-way times would be off by
+	// milliseconds or negative; a tight positive distribution proves
+	// synchronisation works.
+	cfg := cluster.Perseus()
+	res, err := Run(cfg, quickSpec(place(t, &cfg, 4, 1), OpIsend, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncResidual > 30e-6 {
+		t.Errorf("sync residual %.1f µs, want microsecond-scale", res.SyncResidual*1e6)
+	}
+	p, _ := res.PointFor(256)
+	if p.Min() < 20e-6 || p.Avg() > 2e-3 {
+		t.Errorf("one-way times [min %.1f µs, mean %.1f µs] implausible: clock sync broken?",
+			p.Min()*1e6, p.Avg()*1e6)
+	}
+}
+
+func TestContentionRaisesAverages(t *testing.T) {
+	// The paper's headline Figure 1 observation: a 1 KB transfer takes
+	// substantially longer on average with 64×1 communicating processes
+	// than with 2×1, while the minimum stays near the contention-free bound.
+	cfg := cluster.Perseus()
+	small, err := Run(cfg, quickSpec(blockPlace(t, &cfg, 2, 1), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(cfg, quickSpec(blockPlace(t, &cfg, 64, 1), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := small.PointFor(1024)
+	p64, _ := big.PointFor(1024)
+	ratio := p64.Avg() / p2.Avg()
+	if ratio < 1.25 {
+		t.Errorf("64x1 mean only %.2fx the 2x1 mean; contention missing", ratio)
+	}
+	if p64.Min() > p2.Avg()*1.5 {
+		t.Errorf("64x1 minimum %.1f µs should stay near the contention-free time",
+			p64.Min()*1e6)
+	}
+	// Dispersion grows with contention.
+	if p64.Hist.Std() <= p2.Hist.Std() {
+		t.Error("contention should widen the distribution")
+	}
+}
+
+func TestSMPContention(t *testing.T) {
+	// Two processes per node share one NIC: 8×2 must be slower on
+	// average than 8×1 for the same message size.
+	cfg := cluster.Perseus()
+	one, err := Run(cfg, quickSpec(place(t, &cfg, 8, 1), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(cfg, quickSpec(place(t, &cfg, 8, 2), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := one.PointFor(1024)
+	p2, _ := two.PointFor(1024)
+	if p2.Avg() <= p1.Avg() {
+		t.Errorf("8x2 mean %.1f µs not above 8x1 mean %.1f µs", p2.Avg()*1e6, p1.Avg()*1e6)
+	}
+}
+
+func TestCollectiveBcast(t *testing.T) {
+	cfg := cluster.Perseus()
+	res, err := Run(cfg, quickSpec(place(t, &cfg, 8, 1), OpBcast, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := res.PointFor(4096)
+	if !ok || p.Hist.Count() == 0 {
+		t.Fatal("no Bcast samples")
+	}
+	if p.Min() <= 0 {
+		t.Error("Bcast time must be positive")
+	}
+	// Broadcast across 8 ranks takes at least one message time.
+	if p.Avg() < 100e-6 {
+		t.Errorf("Bcast mean %.1f µs implausibly fast", p.Avg()*1e6)
+	}
+}
+
+func TestBarrierIgnoresSizes(t *testing.T) {
+	cfg := cluster.Perseus()
+	spec := quickSpec(place(t, &cfg, 4, 1), OpBarrier, 1024, 4096)
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Size != 0 {
+		t.Errorf("Barrier points = %+v, want single size-0 entry", res.Points)
+	}
+}
+
+func TestRunSweepAndSetRoundTrip(t *testing.T) {
+	cfg := cluster.Perseus()
+	pls := []cluster.Placement{place(t, &cfg, 2, 1), place(t, &cfg, 4, 1)}
+	spec := quickSpec(cluster.Placement{}, OpIsend, 512)
+	set, err := RunSweep(cfg, spec, pls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != 2 {
+		t.Fatalf("results = %d", len(set.Results))
+	}
+	if got := set.Placements(OpIsend); len(got) != 2 || got[0] != "2x1" || got[1] != "4x1" {
+		t.Errorf("Placements = %v", got)
+	}
+	if _, ok := set.Find(OpIsend, "4x1"); !ok {
+		t.Error("Find failed")
+	}
+	if _, ok := set.Find(OpBcast, "4x1"); ok {
+		t.Error("Find matched wrong op")
+	}
+
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := set.Find(OpIsend, "2x1")
+	loaded, ok := back.Find(OpIsend, "2x1")
+	if !ok {
+		t.Fatal("loaded set missing result")
+	}
+	po, _ := orig.PointFor(512)
+	pb, _ := loaded.PointFor(512)
+	if math.Abs(po.Avg()-pb.Avg()) > 1e-12 || po.Hist.Count() != pb.Hist.Count() {
+		t.Error("JSON round trip changed the data")
+	}
+}
+
+func TestSetAddReplaces(t *testing.T) {
+	set := &Set{}
+	set.Add(&Result{Op: OpIsend, Placement: "2x1", Procs: 2})
+	set.Add(&Result{Op: OpIsend, Placement: "2x1", Procs: 2, Samples: 99})
+	if len(set.Results) != 1 {
+		t.Fatalf("Add should replace, got %d results", len(set.Results))
+	}
+	if set.Results[0].Samples != 99 {
+		t.Error("replacement kept the old result")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cfg := cluster.Perseus()
+	good := place(t, &cfg, 2, 1)
+	cases := map[string]Spec{
+		"bad op":       {Op: "MPI_Bogus", Placement: good},
+		"odd procs":    {Op: OpIsend, Placement: cluster.Placement{NodeCount: 3, PerNode: 1}},
+		"neg size":     {Op: OpIsend, Placement: good, Sizes: []int{-1}},
+		"no placement": {Op: OpIsend},
+	}
+	for name, s := range cases {
+		s = s.Defaults()
+		if err := s.Validate(&cfg); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+	s := quickSpec(good, OpIsend, 100).Defaults()
+	if err := s.Validate(&cfg); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := cluster.Perseus()
+	spec := quickSpec(place(t, &cfg, 4, 1), OpIsend, 1024)
+	a, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.PointFor(1024)
+	pb, _ := b.PointFor(1024)
+	if pa.Avg() != pb.Avg() || pa.Hist.Count() != pb.Hist.Count() {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,146 @@
+package mpibench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Point is the measured distribution for one message size.
+type Point struct {
+	Size int              `json:"size"`
+	Hist *stats.Histogram `json:"hist"`
+
+	// MaxHist, present for collective operations, is the distribution of
+	// the per-repetition slowest rank — the completion of the collective
+	// as a whole, which is what gates the next step of an iterative
+	// program. Only a benchmark that times every rank individually (the
+	// paper's globally-synchronised-clock design) can measure it.
+	MaxHist *stats.Histogram `json:"max_hist,omitempty"`
+}
+
+// Min returns the fastest individual operation observed — the paper's
+// contention-free bound.
+func (p Point) Min() float64 { return p.Hist.Min() }
+
+// Avg returns the mean individual operation time.
+func (p Point) Avg() float64 { return p.Hist.Mean() }
+
+// Result is the output of one benchmark run: per-size distributions of
+// individual operation times across all processes.
+type Result struct {
+	Cluster   string  `json:"cluster"`
+	Op        Op      `json:"op"`
+	Placement string  `json:"placement"` // n×p notation, e.g. "64x2"
+	Procs     int     `json:"procs"`
+	BinWidth  float64 `json:"bin_width"`
+	Points    []Point `json:"points"`
+
+	// SyncResidual is the worst clock-fit RMS residual across nodes —
+	// the measurement noise floor.
+	SyncResidual float64 `json:"sync_residual"`
+	// Samples is the number of individual timings per size.
+	Samples uint64 `json:"samples"`
+}
+
+// PointFor returns the distribution for an exact message size.
+func (r *Result) PointFor(size int) (Point, bool) {
+	for _, p := range r.Points {
+		if p.Size == size {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Set is a collection of results across operations and placements — the
+// "performance database" PEVPM draws from.
+type Set struct {
+	Cluster string    `json:"cluster"`
+	Results []*Result `json:"results"`
+}
+
+// Add appends a result, replacing any previous result for the same
+// (op, placement) pair.
+func (s *Set) Add(r *Result) {
+	for i, old := range s.Results {
+		if old.Op == r.Op && old.Placement == r.Placement {
+			s.Results[i] = r
+			return
+		}
+	}
+	s.Results = append(s.Results, r)
+}
+
+// Find returns the result for an (op, placement) pair.
+func (s *Set) Find(op Op, placement string) (*Result, bool) {
+	for _, r := range s.Results {
+		if r.Op == op && r.Placement == placement {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Placements lists the distinct placements present for an op, sorted by
+// total process count.
+func (s *Set) Placements(op Op) []string {
+	var out []string
+	procs := map[string]int{}
+	for _, r := range s.Results {
+		if r.Op == op {
+			out = append(out, r.Placement)
+			procs[r.Placement] = r.Procs
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if procs[out[i]] != procs[out[j]] {
+			return procs[out[i]] < procs[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// WriteJSON serialises the set.
+func (s *Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadJSON deserialises a set written by WriteJSON.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("mpibench: decoding result set: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the set to a file.
+func (s *Set) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a set from a file.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

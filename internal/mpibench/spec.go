@@ -1,0 +1,151 @@
+// Package mpibench reimplements the paper's MPIBench tool on the
+// simulated cluster. Like the original, it measures the time of every
+// individual MPI operation — not averages over repetitions — by reading
+// each node's drifting local clock and mapping the readings onto a
+// common timebase with the ping-pong/linear-regression synchronisation
+// from internal/vclock. Its output is a probability distribution
+// (histogram) of operation times per message size and per n×p process
+// configuration, which PEVPM samples from.
+package mpibench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Op is a benchmarkable MPI operation.
+type Op string
+
+// The operations MPIBench measures. Point-to-point ops pair rank i with
+// rank i+P/2 and exchange simultaneously, which is how MPIBench loads
+// the network to expose contention; collectives run on all ranks.
+const (
+	OpIsend     Op = "MPI_Isend"
+	OpSend      Op = "MPI_Send"
+	OpSendrecv  Op = "MPI_Sendrecv"
+	OpBarrier   Op = "MPI_Barrier"
+	OpBcast     Op = "MPI_Bcast"
+	OpReduce    Op = "MPI_Reduce"
+	OpAllreduce Op = "MPI_Allreduce"
+	OpGather    Op = "MPI_Gather"
+	OpScatter   Op = "MPI_Scatter"
+	OpAllgather Op = "MPI_Allgather"
+	OpAlltoall  Op = "MPI_Alltoall"
+)
+
+// PointToPoint reports whether the operation is measured pairwise.
+func (op Op) PointToPoint() bool {
+	switch op {
+	case OpIsend, OpSend, OpSendrecv:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether the operation is known.
+func (op Op) Valid() bool {
+	switch op {
+	case OpIsend, OpSend, OpSendrecv, OpBarrier, OpBcast, OpReduce,
+		OpAllreduce, OpGather, OpScatter, OpAllgather, OpAlltoall:
+		return true
+	}
+	return false
+}
+
+// Spec describes one benchmark run.
+type Spec struct {
+	Op        Op
+	Sizes     []int // message sizes in bytes (one histogram per size)
+	Placement cluster.Placement
+
+	// Repetitions is the number of measured operations per size;
+	// WarmUp repetitions run first and are discarded.
+	Repetitions int
+	WarmUp      int
+
+	// BinWidth is the histogram bin width in seconds. The paper notes
+	// PEVPM's residual error comes from this granularity.
+	BinWidth float64
+
+	// SyncProbes is the number of clock-sync exchanges per node with the
+	// reference node, run both before and after the measurements.
+	SyncProbes int
+
+	// BarrierEvery realigns the point-to-point pairs with a barrier
+	// every N repetitions (default 4). Alignment recreates the
+	// synchronized bursts data-parallel programs produce; on networks
+	// whose message time is smaller than the barrier's own exit skew,
+	// raise it so steady-state behaviour dominates the measurement.
+	BarrierEvery int
+
+	// PerfectClocks replaces the drifting node clocks with ideal ones
+	// (zero offset, skew and read jitter). The sync protocol still runs;
+	// this isolates how much of a measured distribution's width is
+	// genuine versus clock-synchronisation error.
+	PerfectClocks bool
+
+	// Seed drives all simulation randomness.
+	Seed uint64
+}
+
+// Defaults fills unset fields with sensible values.
+func (s Spec) Defaults() Spec {
+	if s.Repetitions == 0 {
+		s.Repetitions = 300
+	}
+	if s.WarmUp == 0 {
+		s.WarmUp = 20
+	}
+	if s.BinWidth == 0 {
+		s.BinWidth = 5e-6
+	}
+	if s.SyncProbes == 0 {
+		s.SyncProbes = 40
+	}
+	if s.BarrierEvery == 0 {
+		s.BarrierEvery = 4
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{0, 64, 256, 1024, 4096, 16384, 65536}
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate(cfg *cluster.Config) error {
+	if !s.Op.Valid() {
+		return fmt.Errorf("mpibench: unknown op %q", s.Op)
+	}
+	if _, err := cluster.NewPlacement(cfg, s.Placement.NodeCount, s.Placement.PerNode); err != nil {
+		return err
+	}
+	if s.Op.PointToPoint() && s.Placement.NumProcs()%2 != 0 {
+		return fmt.Errorf("mpibench: point-to-point op %s needs an even process count, got %d",
+			s.Op, s.Placement.NumProcs())
+	}
+	if s.Op.PointToPoint() && s.Placement.NumProcs() < 2 {
+		return fmt.Errorf("mpibench: point-to-point op %s needs at least 2 processes", s.Op)
+	}
+	if s.Repetitions <= 0 || s.WarmUp < 0 {
+		return fmt.Errorf("mpibench: repetitions %d / warmup %d invalid", s.Repetitions, s.WarmUp)
+	}
+	if s.BinWidth <= 0 {
+		return fmt.Errorf("mpibench: bin width %v invalid", s.BinWidth)
+	}
+	if s.SyncProbes < 4 {
+		return fmt.Errorf("mpibench: need at least 4 sync probes, got %d", s.SyncProbes)
+	}
+	if s.BarrierEvery < 1 {
+		return fmt.Errorf("mpibench: BarrierEvery %d invalid", s.BarrierEvery)
+	}
+	for _, size := range s.Sizes {
+		if size < 0 {
+			return fmt.Errorf("mpibench: negative message size %d", size)
+		}
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("mpibench: no message sizes")
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+// Package netsim is the stochastic discrete-event model of a cluster's
+// communication fabric: per-node NICs serialising frames onto full-duplex
+// Fast Ethernet links, switches forwarding store-and-forward, a shared
+// inter-switch stacking backplane with finite capacity, and TCP-style
+// loss plus retransmission timeouts when buffers overflow.
+//
+// The model is flow-level — one event pipeline per message, not per
+// Ethernet frame — which keeps simulations fast while reproducing the
+// phenomena the paper analyses: queueing under contention, the backplane
+// saturation cliff, and retransmission-timeout outliers in the tails of
+// the latency distributions.
+//
+// netsim moves opaque byte counts between nodes. The MPI protocol
+// (eager/rendezvous, matching, collectives) lives in internal/mpi.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TransferStats describes one completed message transfer.
+type TransferStats struct {
+	Sent        sim.Time // when the transfer was handed to the NIC
+	Delivered   sim.Time // when the last byte reached the destination host
+	Retries     int      // retransmission timeouts suffered
+	CrossSwitch bool     // whether the path traversed the stacking backplane
+}
+
+// Counters aggregates network activity for experiments and tests.
+type Counters struct {
+	Transfers    uint64
+	IntraNode    uint64
+	CrossSwitch  uint64
+	Retries      uint64
+	WireBytes    uint64
+	MaxStackWait sim.Duration // worst backlog observed at the backplane
+}
+
+// Network simulates the communication fabric of one cluster.
+type Network struct {
+	cfg cluster.Config
+	e   *sim.Engine
+
+	nicTx  []*sim.Serializer // per-node NIC transmit engines
+	nicRx  []*sim.Serializer // per-node NIC receive engines
+	memBus []*sim.Serializer // per-node shared-memory copy engines
+
+	// fabrics model each switch's internal switching capacity. The Intel
+	// 510T's fabric ran at 2.1 Gbit/s — less than half of what 24
+	// full-duplex ports can offer — so a switch full of communicating
+	// nodes congests internally even before the stacking backplane is
+	// involved.
+	fabrics []*sim.Serializer
+
+	// segments model the stacking backplane as the daisy-chain the
+	// Intel 510T matrix cards form: segment i joins switch i and i+1,
+	// and a message spanning several switches consumes capacity on
+	// every segment along the way. This is what makes wide spans
+	// (the paper's 64×1 across three switches) congest first.
+	segments []*sim.Serializer
+
+	loss   *sim.RNG
+	jitter *sim.RNG
+
+	counters Counters
+}
+
+// New builds the network for a cluster configuration. It panics on an
+// invalid configuration, which is a programming error.
+func New(e *sim.Engine, cfg cluster.Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		cfg:    cfg,
+		e:      e,
+		nicTx:  make([]*sim.Serializer, cfg.Nodes),
+		nicRx:  make([]*sim.Serializer, cfg.Nodes),
+		memBus: make([]*sim.Serializer, cfg.Nodes),
+		loss:   e.RNG("netsim.loss"),
+		jitter: e.RNG("netsim.jitter"),
+	}
+	for i := range n.nicTx {
+		n.nicTx[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.tx", i))
+		n.nicRx[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.rx", i))
+		n.memBus[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.mem", i))
+	}
+	for i := 0; i < cfg.NumSwitches(); i++ {
+		n.fabrics = append(n.fabrics, sim.NewSerializer(e, fmt.Sprintf("switch%d.fabric", i)))
+	}
+	for i := 0; i < cfg.NumSwitches()-1; i++ {
+		n.segments = append(n.segments, sim.NewSerializer(e, fmt.Sprintf("stack%d-%d", i, i+1)))
+	}
+	return n
+}
+
+// Config returns the cluster configuration the network models.
+func (n *Network) Config() cluster.Config { return n.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (n *Network) Stats() Counters { return n.counters }
+
+// jittered multiplies a nominal latency by a small lognormal factor,
+// modelling interrupt coalescence and forwarding-engine variance.
+func (n *Network) jittered(nominal float64) sim.Duration {
+	f := 1 + n.cfg.JitterSigma*n.jitter.NormFloat64()
+	if f < 0.5 {
+		f = 0.5
+	}
+	return sim.DurationFromSeconds(nominal * f)
+}
+
+// Transfer moves payload bytes from srcNode to dstNode, invoking done in
+// event context when the last byte has arrived at the destination host.
+// Host CPU costs (MPI send/receive overheads) are deliberately excluded:
+// they belong to the process and are modelled by internal/mpi.
+func (n *Network) Transfer(srcNode, dstNode, payload int, done func(TransferStats)) {
+	if srcNode < 0 || srcNode >= n.cfg.Nodes || dstNode < 0 || dstNode >= n.cfg.Nodes {
+		panic(fmt.Sprintf("netsim: transfer %d->%d outside cluster of %d nodes",
+			srcNode, dstNode, n.cfg.Nodes))
+	}
+	if payload < 0 {
+		panic(fmt.Sprintf("netsim: negative payload %d", payload))
+	}
+	n.counters.Transfers++
+	start := n.e.Now()
+	if srcNode == dstNode {
+		n.counters.IntraNode++
+		n.intraNode(srcNode, payload, start, done)
+		return
+	}
+	n.counters.WireBytes += uint64(n.cfg.WireBytes(payload))
+	n.attempt(srcNode, dstNode, payload, start, 0, done)
+}
+
+// intraNode models a shared-memory copy through the node's memory bus,
+// which both CPUs of an SMP node contend for.
+func (n *Network) intraNode(node, payload int, start sim.Time, done func(TransferStats)) {
+	service := sim.DurationFromSeconds(float64(payload) * 8 / n.cfg.MemRate)
+	latency := n.jittered(n.cfg.MemLatency)
+	n.memBus[node].Enqueue(service, func(_, end sim.Time) {
+		n.e.Schedule(latency, func() {
+			if done != nil {
+				done(TransferStats{Sent: start, Delivered: n.e.Now()})
+			}
+		})
+	})
+}
+
+// attempt runs one end-to-end transmission try. A drop at the backplane
+// or the destination port triggers a TCP-like retransmission timeout and
+// a full retry from the source, exactly as a lost segment would.
+func (n *Network) attempt(srcNode, dstNode, payload int, start sim.Time, try int, done func(TransferStats)) {
+	cfg := &n.cfg
+	wire := cfg.WireBytes(payload)
+	txService := sim.DurationFromSeconds(float64(wire) * 8 / cfg.LinkRate)
+
+	txEnd := n.nicTx[srcNode].Enqueue(txService, nil)
+	txStart := txEnd.Add(-txService)
+
+	// The first frame must be fully received by the switch before it can
+	// be forwarded (store-and-forward), then crosses one hop.
+	sfDelay := sim.DurationFromSeconds(cfg.FrameTime(payload)) + n.jittered(cfg.SwitchLatency)
+
+	crossSwitch := cfg.SwitchOf(srcNode) != cfg.SwitchOf(dstNode)
+	afterFabric := func() {
+		// Destination port: drop if its buffers have overflowed.
+		if n.dropped(n.nicRx[dstNode].Backlog(), cfg.NICBufferDelay()) {
+			n.retry(srcNode, dstNode, payload, start, try, done)
+			return
+		}
+		rxService := sim.DurationFromSeconds(float64(wire) * 8 / cfg.LinkRate)
+		n.nicRx[dstNode].Enqueue(rxService, func(_, end sim.Time) {
+			if crossSwitch {
+				n.counters.CrossSwitch++
+			}
+			if done == nil {
+				return
+			}
+			done(TransferStats{
+				Sent:        start,
+				Delivered:   end,
+				Retries:     try,
+				CrossSwitch: crossSwitch,
+			})
+		})
+	}
+
+	dropAndRetry := func() { n.retry(srcNode, dstNode, payload, start, try, done) }
+	srcSwitch, dstSwitch := cfg.SwitchOf(srcNode), cfg.SwitchOf(dstNode)
+	n.e.At(txStart.Add(sfDelay), func() {
+		// Ingress switch fabric. The 510T's 2.1 Gbit/s fabric is shared
+		// by all 24 ports, so a busy switch congests internally.
+		n.traverse(n.fabrics[srcSwitch], payload, func(dropped bool) {
+			if dropped {
+				dropAndRetry()
+				return
+			}
+			if !crossSwitch {
+				afterFabric()
+				return
+			}
+			// Inter-switch path: cross the stacking backplane one
+			// segment at a time — the chain whose saturation produces
+			// the paper's Figure 4 tails — then the egress fabric.
+			n.crossSegments(srcSwitch, dstSwitch, payload, func(dropped bool) {
+				if dropped {
+					dropAndRetry()
+					return
+				}
+				n.traverse(n.fabrics[dstSwitch], payload, func(dropped bool) {
+					if dropped {
+						dropAndRetry()
+						return
+					}
+					afterFabric()
+				})
+			})
+		})
+	})
+}
+
+// crossSegments forwards a message across the backplane segments between
+// two switches, one store-and-forward hop at a time, checking each
+// segment's buffers for overflow. next is called with dropped=true the
+// moment any segment drops the message.
+func (n *Network) crossSegments(srcSwitch, dstSwitch, payload int, next func(dropped bool)) {
+	// Segment i joins switch i and i+1, so the path from switch a to
+	// switch b uses segments min(a,b) .. max(a,b)-1, in travel order.
+	var path []int
+	if srcSwitch < dstSwitch {
+		for s := srcSwitch; s < dstSwitch; s++ {
+			path = append(path, s)
+		}
+	} else {
+		for s := srcSwitch - 1; s >= dstSwitch; s-- {
+			path = append(path, s)
+		}
+	}
+	var step func(i int)
+	step = func(i int) {
+		n.traverseStage(n.segments[path[i]], payload, false, func(dropped bool) {
+			if dropped || i == len(path)-1 {
+				next(dropped)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// traverse sends a message through one backplane-speed stage (a switch
+// fabric or a stacking segment): it consumes the full message's worth of
+// the stage's capacity — bits at the stack rate plus per-frame
+// forwarding time — but hands off downstream cut-through style, one
+// frame after the stage starts serving the message, so large messages
+// pipeline across stages instead of paying store-and-forward per stage.
+// The handoff respects queueing: if the stage is backed up, the message
+// waits its full turn.
+func (n *Network) traverse(s *sim.Serializer, payload int, next func(dropped bool)) {
+	n.traverseStage(s, payload, true, next)
+}
+
+// traverseStage implements traverse. Switch fabrics (perFrame=true) pay
+// the forwarding engine's per-frame processing on top of the bit rate;
+// stacking segments (perFrame=false) are simple TDM pipes that move bits
+// at the stack rate only — which is why small-message contention is a
+// fabric phenomenon while the backplane only matters once large
+// transfers approach its bit capacity.
+func (n *Network) traverseStage(s *sim.Serializer, payload int, perFrame bool, next func(dropped bool)) {
+	if wait := s.Backlog(); wait > n.counters.MaxStackWait {
+		n.counters.MaxStackWait = wait
+	}
+	if n.dropped(s.Backlog(), n.cfg.StackBufferDelay()) {
+		next(true)
+		return
+	}
+	serviceSec := float64(n.cfg.WireBytes(payload)) * 8 / n.cfg.StackRate
+	frame := n.cfg.WireBytes(payload)
+	if max := n.cfg.MTU + n.cfg.FrameOverhead; frame > max {
+		frame = max
+	}
+	oneFrame := float64(frame) * 8 / n.cfg.StackRate
+	if perFrame {
+		serviceSec = n.cfg.FabricService(payload)
+		oneFrame += n.cfg.FabricPerFrame
+	}
+	if n.cfg.FabricJitter > 0 {
+		// Lognormal service variance: mean preserved, CV ≈ FabricJitter.
+		sigma2 := math.Log1p(n.cfg.FabricJitter * n.cfg.FabricJitter)
+		serviceSec *= n.jitter.LogNormal(-sigma2/2, math.Sqrt(sigma2))
+	}
+	service := sim.DurationFromSeconds(serviceSec)
+	end := s.Enqueue(service, nil)
+	handoff := end.Add(-service).Add(sim.DurationFromSeconds(oneFrame)).Add(n.jittered(n.cfg.SwitchLatency))
+	n.e.At(handoff, func() { next(false) })
+}
+
+// dropped decides whether congestion claims this message.
+func (n *Network) dropped(backlog sim.Duration, threshold float64) bool {
+	p := n.cfg.DropProb(backlog.Seconds(), threshold)
+	return p > 0 && n.loss.Bool(p)
+}
+
+// retry schedules a retransmission after the TCP timeout, with
+// exponential backoff capped to keep simulated time bounded under
+// pathological saturation.
+func (n *Network) retry(srcNode, dstNode, payload int, start sim.Time, try int, done func(TransferStats)) {
+	n.counters.Retries++
+	exp := try
+	if exp > 5 {
+		exp = 5
+	}
+	rto := n.cfg.RTO
+	for i := 0; i < exp; i++ {
+		rto *= n.cfg.RTOBackoff
+	}
+	// ±10% jitter so synchronized losses do not retransmit in lock-step.
+	rto *= 0.9 + 0.2*n.jitter.Float64()
+	n.e.Schedule(sim.DurationFromSeconds(rto), func() {
+		n.attempt(srcNode, dstNode, payload, start, try+1, done)
+	})
+}
+
+// Utilization summarises how busy each class of resource has been over
+// an interval of virtual time — the accounting behind the paper's
+// backplane-saturation analysis ("approximately ... 2.02 Gbit/s was
+// being delivered between the two fully utilised switches").
+type Utilization struct {
+	// Busy fractions in [0,1] (cumulative service time / elapsed).
+	BusiestNICTx   float64
+	BusiestNICRx   float64
+	BusiestFabric  float64
+	BusiestSegment float64
+	MeanSegment    float64
+	// DeliveredStackBits is the total traffic the backplane segments
+	// carried, in bits (wire bits × segments crossed).
+	DeliveredStackBits float64
+}
+
+// UtilizationSince computes busy fractions for the window from start to
+// the current virtual time. Service time is accumulated from network
+// creation, so pass start=0 (or accept slight over-counting if traffic
+// flowed before the window).
+func (n *Network) UtilizationSince(start sim.Time) Utilization {
+	elapsed := n.e.Now().Sub(start).Seconds()
+	if elapsed <= 0 {
+		return Utilization{}
+	}
+	maxBusy := func(ss []*sim.Serializer) float64 {
+		worst := 0.0
+		for _, s := range ss {
+			if f := s.BusyTime().Seconds() / elapsed; f > worst {
+				worst = f
+			}
+		}
+		return worst
+	}
+	u := Utilization{
+		BusiestNICTx:   maxBusy(n.nicTx),
+		BusiestNICRx:   maxBusy(n.nicRx),
+		BusiestFabric:  maxBusy(n.fabrics),
+		BusiestSegment: maxBusy(n.segments),
+	}
+	var total float64
+	for _, s := range n.segments {
+		busy := s.BusyTime().Seconds()
+		total += busy / elapsed
+		u.DeliveredStackBits += busy * n.cfg.StackRate
+	}
+	if len(n.segments) > 0 {
+		u.MeanSegment = total / float64(len(n.segments))
+	}
+	return u
+}
+
+// TxBacklog reports the transmit queue depth of a node's NIC; tests and
+// the MPI library's flow-control heuristics use it.
+func (n *Network) TxBacklog(node int) sim.Duration { return n.nicTx[node].Backlog() }
+
+// RxBacklog reports the receive-side queue depth of a node's NIC.
+func (n *Network) RxBacklog(node int) sim.Duration { return n.nicRx[node].Backlog() }
+
+// StackBacklog reports the deepest backplane-segment queue right now.
+func (n *Network) StackBacklog() sim.Duration {
+	var worst sim.Duration
+	for _, s := range n.segments {
+		if b := s.Backlog(); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// StackBusyTime reports cumulative service time across all backplane
+// segments, for utilisation accounting in saturation experiments.
+func (n *Network) StackBusyTime() sim.Duration {
+	var total sim.Duration
+	for _, s := range n.segments {
+		total += s.BusyTime()
+	}
+	return total
+}

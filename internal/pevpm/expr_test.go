@@ -1,0 +1,151 @@
+package pevpm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	env := Env{"procnum": 5, "numprocs": 8, "xsize": 256}
+	cases := map[string]float64{
+		"1 + 2*3":             7,
+		"(1+2)*3":             9,
+		"10/4":                2.5,
+		"procnum%2":           1,
+		"xsize*sizeof(float)": 1024,
+		"3.24/numprocs":       0.405,
+		"-procnum + 1":        -4,
+		"2e3 + 1":             2001,
+		"procnum - numprocs":  -3,
+		"1.5e-6 * 2":          3e-6,
+		"sizeof(double)*2":    16,
+		"procnum*procnum":     25,
+	}
+	for src, want := range cases {
+		if got := evalOK(t, src, env); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExprComparisons(t *testing.T) {
+	env := Env{"procnum": 5, "numprocs": 8}
+	cases := map[string]float64{
+		"procnum%2 == 0":                0,
+		"procnum%2 != 0":                1,
+		"procnum != 0":                  1,
+		"procnum != numprocs-1":         1,
+		"procnum == numprocs-3":         1,
+		"procnum < 5":                   0,
+		"procnum <= 5":                  1,
+		"procnum > 4 && procnum < 6":    1,
+		"procnum == 0 || procnum == 5":  1,
+		"!(procnum == 5)":               0,
+		"procnum >= 6 || numprocs >= 8": 1,
+		"procnum == 5 && numprocs == 9": 0,
+	}
+	for src, want := range cases {
+		if got := evalOK(t, src, env); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExprShortCircuit(t *testing.T) {
+	// Right side divides by zero, but short-circuit must avoid it.
+	env := Env{"a": 0.0}
+	if got := evalOK(t, "a != 0 && 1/a > 0", env); got != 0 {
+		t.Errorf("short-circuit && = %v", got)
+	}
+	if got := evalOK(t, "a == 0 || 1/a > 0", env); got != 1 {
+		t.Errorf("short-circuit || = %v", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "1 @ 2", "sizeof", "sizeof(bogus)", "sizeof 4",
+		"1 2", "foo(", "&& 1",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+	e := MustExpr("undefined_var + 1")
+	if _, err := e.Eval(Env{}); err == nil {
+		t.Error("undefined variable should fail at eval")
+	}
+	if _, err := MustExpr("1/zero").Eval(Env{"zero": 0}); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := MustExpr("1%zero").Eval(Env{"zero": 0}); err == nil {
+		t.Error("modulo by zero should fail")
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	f := func(a, b int8, pick uint8) bool {
+		env := Env{"x": float64(a), "y": float64(b)}
+		var src string
+		switch pick % 5 {
+		case 0:
+			src = "x + y*2"
+		case 1:
+			src = "(x - y) % 7"
+		case 2:
+			src = "x == y || x > 0"
+		case 3:
+			src = "-x + y"
+		default:
+			src = "x*y - x/2"
+		}
+		orig, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		back, err := ParseExpr(orig.String())
+		if err != nil {
+			return false
+		}
+		v1, err1 := orig.Eval(env)
+		v2, err2 := back.Eval(env)
+		if err1 != nil || err2 != nil {
+			return (err1 == nil) == (err2 == nil)
+		}
+		return v1 == v2 || (math.IsNaN(v1) && math.IsNaN(v2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExpr should panic on bad input")
+		}
+	}()
+	MustExpr("((")
+}
+
+func TestNumVarHelpers(t *testing.T) {
+	e := binary{"+", Num(2), Var("p")}
+	v, err := e.Eval(Env{"p": 3})
+	if err != nil || v != 5 {
+		t.Errorf("builder expr = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,187 @@
+package pevpm
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// FittedDB is the paper's §2 alternative to raw histograms: "It is also
+// possible to use parametrised functions to model the PDFs, based on
+// fits to the histograms using standard functions." Each grid point's
+// histogram is replaced by its best-fitting parametric distribution
+// (shifted lognormal / shifted exponential / Weibull, chosen by KS
+// distance); sampling blends the analytic quantile behaviour through
+// the same bilinear interpolation as EmpiricalDB by sampling the
+// nearest-by-weight grid point.
+//
+// A fitted database is far smaller than the histograms it came from and
+// smooths bin-granularity noise, at the cost of losing multi-modal
+// structure (e.g. detached retransmission-timeout spikes). The
+// FitReport says how well each point fit, so callers can keep the
+// empirical histogram where the fit is poor.
+type FittedDB struct {
+	base *EmpiricalDB
+
+	grid  []fittedEntry
+	intra []fittedEntry
+
+	report []FitPoint
+}
+
+type fittedEntry struct {
+	procs int
+	sizes []int
+	dists []stats.Dist
+}
+
+// FitPoint records the quality of one grid point's fit.
+type FitPoint struct {
+	Placement string
+	Size      int
+	Family    string
+	KS        float64
+}
+
+// maxAcceptableKS is the goodness-of-fit bound beyond which FittedDB
+// keeps the empirical histogram instead of the parametric fit (a KS
+// distance of 0.3 means 30% of probability mass is misplaced — typical
+// of a unimodal family forced onto a distribution with an RTO spike).
+const maxAcceptableKS = 0.30
+
+// NewFittedDBFrom fits every grid point of an existing empirical
+// database. Points whose best fit exceeds the KS bound fall back to
+// sampling the underlying histogram.
+func NewFittedDBFrom(base *EmpiricalDB) (*FittedDB, error) {
+	if base == nil {
+		return nil, fmt.Errorf("pevpm: nil base database")
+	}
+	db := &FittedDB{base: base}
+	var err error
+	if db.grid, err = db.fitGrid(base.grid, "inter"); err != nil {
+		return nil, err
+	}
+	if db.intra, err = db.fitGrid(base.intra, "intra"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// histDist adapts a histogram to the Dist interface so unfittable points
+// can stay empirical inside a fitted grid.
+type histDist struct{ h *stats.Histogram }
+
+func (d histDist) Sample(r stats.Rand) float64 { return d.h.Sample(r) }
+func (d histDist) Mean() float64               { return d.h.Mean() }
+func (d histDist) MinBound() float64           { return d.h.Min() }
+func (d histDist) CDF(x float64) float64       { return d.h.CDF(x) }
+
+func (db *FittedDB) fitGrid(grid []dbEntry, kind string) ([]fittedEntry, error) {
+	var out []fittedEntry
+	for _, e := range grid {
+		fe := fittedEntry{procs: e.procs, sizes: e.sizes}
+		for i, h := range e.hists {
+			fits := stats.FitBest(h)
+			point := FitPoint{
+				Placement: fmt.Sprintf("%s-%dprocs", kind, e.procs),
+				Size:      e.sizes[i],
+			}
+			if len(fits) > 0 && fits[0].KS <= maxAcceptableKS {
+				fe.dists = append(fe.dists, fits[0].Dist)
+				point.Family, point.KS = fits[0].Name, fits[0].KS
+			} else {
+				fe.dists = append(fe.dists, histDist{h})
+				point.Family = "empirical-fallback"
+				if len(fits) > 0 {
+					point.KS = fits[0].KS
+				}
+			}
+			db.report = append(db.report, point)
+		}
+		out = append(out, fe)
+	}
+	return out, nil
+}
+
+// Report lists every grid point's chosen family and fit quality.
+func (db *FittedDB) Report() []FitPoint {
+	out := make([]FitPoint, len(db.report))
+	copy(out, db.report)
+	return out
+}
+
+// fittedProcsList mirrors procsList for fitted grids.
+func fittedProcsList(grid []fittedEntry) []int {
+	out := make([]int, len(grid))
+	for i, e := range grid {
+		out[i] = e.procs
+	}
+	return out
+}
+
+// atFitted picks the four bracketing grid points and blends f over them.
+func atFitted(grid []fittedEntry, size, contention int, f func(d stats.Dist) float64) float64 {
+	pLo, pHi, pw := bracket(fittedProcsList(grid), contention)
+	blendEntry := func(e fittedEntry) float64 {
+		sLo, sHi, sw := bracket(e.sizes, size)
+		lo := f(e.dists[sLo])
+		if sLo == sHi {
+			return lo
+		}
+		return lo*(1-sw) + f(e.dists[sHi])*sw
+	}
+	lo := blendEntry(grid[pLo])
+	if pLo == pHi {
+		return lo
+	}
+	return lo*(1-pw) + blendEntry(grid[pHi])*pw
+}
+
+func (db *FittedDB) intraFitted() []fittedEntry {
+	if len(db.intra) > 0 {
+		return db.intra
+	}
+	return db.grid
+}
+
+// Sample draws from the blended fitted distributions. Each of the
+// bracketing distributions is sampled with an independent draw and the
+// results blended; for the smooth unimodal families this preserves the
+// location-scale behaviour the bilinear blend intends.
+func (db *FittedDB) Sample(r stats.Rand, size, contention int) float64 {
+	return atFitted(db.grid, size, contention, func(d stats.Dist) float64 { return d.Sample(r) })
+}
+
+// Mean blends the analytic means.
+func (db *FittedDB) Mean(size, contention int) float64 {
+	return atFitted(db.grid, size, contention, stats.Dist.Mean)
+}
+
+// Min blends the analytic support bounds.
+func (db *FittedDB) Min(size, contention int) float64 {
+	return atFitted(db.grid, size, contention, stats.Dist.MinBound)
+}
+
+// SampleIntra draws from the fitted intra-node distributions.
+func (db *FittedDB) SampleIntra(r stats.Rand, size, contention int) float64 {
+	return atFitted(db.intraFitted(), size, contention, func(d stats.Dist) float64 { return d.Sample(r) })
+}
+
+// MeanIntra blends the fitted intra-node means.
+func (db *FittedDB) MeanIntra(size, contention int) float64 {
+	return atFitted(db.intraFitted(), size, contention, stats.Dist.Mean)
+}
+
+// MinIntra blends the fitted intra-node bounds.
+func (db *FittedDB) MinIntra(size, contention int) float64 {
+	return atFitted(db.intraFitted(), size, contention, stats.Dist.MinBound)
+}
+
+// SendBusy delegates to the machine constants of the base database.
+func (db *FittedDB) SendBusy(size int) float64 { return db.base.SendBusy(size) }
+
+// RecvBusy delegates to the machine constants of the base database.
+func (db *FittedDB) RecvBusy(size int) float64 { return db.base.RecvBusy(size) }
+
+// EagerLimit delegates to the base database.
+func (db *FittedDB) EagerLimit() int { return db.base.EagerLimit() }

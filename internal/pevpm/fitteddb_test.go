@@ -1,0 +1,154 @@
+package pevpm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpibench"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// smoothSet builds a benchmark set whose histograms follow a shifted
+// lognormal, so fits should succeed.
+func smoothSet(t *testing.T) *mpibench.Set {
+	t.Helper()
+	r := sim.NewRNG(9)
+	set := &mpibench.Set{Cluster: "fake"}
+	for _, procs := range []int{2, 8} {
+		res := &mpibench.Result{
+			Cluster: "fake", Op: mpibench.OpIsend,
+			Placement: map[int]string{2: "2x1", 8: "8x1"}[procs],
+			Procs:     procs, BinWidth: 1e-6,
+		}
+		for _, size := range []int{100, 1000} {
+			base := float64(procs) * float64(size) * 1e-6
+			d := stats.ShiftedLogNormal{Shift: base, Mu: math.Log(base / 4), Sigma: 0.4}
+			h := stats.NewHistogram(base / 100)
+			for i := 0; i < 20000; i++ {
+				h.Add(d.Sample(r))
+			}
+			res.Points = append(res.Points, mpibench.Point{Size: size, Hist: h})
+		}
+		set.Add(res)
+	}
+	return set
+}
+
+func TestFittedDBMatchesEmpiricalMoments(t *testing.T) {
+	base, err := NewEmpiricalDB(smoothSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewFittedDBFrom(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ size, k int }{{100, 2}, {1000, 8}, {550, 5}} {
+		em, fm := base.Mean(tc.size, tc.k), db.Mean(tc.size, tc.k)
+		if math.Abs(em-fm)/em > 0.05 {
+			t.Errorf("size %d k %d: fitted mean %v vs empirical %v", tc.size, tc.k, fm, em)
+		}
+		if db.Min(tc.size, tc.k) > db.Mean(tc.size, tc.k) {
+			t.Errorf("size %d k %d: fitted min above mean", tc.size, tc.k)
+		}
+	}
+	// Sampling reproduces the mean.
+	r := sim.NewRNG(3)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += db.Sample(r, 550, 5)
+	}
+	if got := sum / float64(n); math.Abs(got-db.Mean(550, 5))/db.Mean(550, 5) > 0.05 {
+		t.Errorf("fitted sample mean %v vs analytic %v", got, db.Mean(550, 5))
+	}
+}
+
+func TestFittedDBReport(t *testing.T) {
+	base, err := NewEmpiricalDB(smoothSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewFittedDBFrom(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := db.Report()
+	if len(report) != 4 {
+		t.Fatalf("report has %d points, want 4", len(report))
+	}
+	for _, p := range report {
+		if p.Family == "" {
+			t.Errorf("point %+v has no family", p)
+		}
+		if p.Family != "empirical-fallback" && p.KS > maxAcceptableKS {
+			t.Errorf("point %+v accepted with KS %.3f", p, p.KS)
+		}
+	}
+}
+
+func TestFittedDBFallsBackOnMultimodal(t *testing.T) {
+	// A distribution with a detached RTO spike cannot be fit by the
+	// unimodal families; the fitted DB must keep the histogram.
+	r := sim.NewRNG(11)
+	set := &mpibench.Set{Cluster: "fake"}
+	res := &mpibench.Result{Cluster: "fake", Op: mpibench.OpIsend, Placement: "2x1", Procs: 2}
+	h := stats.NewHistogram(1e-4)
+	for i := 0; i < 20000; i++ {
+		v := 1e-3 + 2e-4*r.Float64()
+		if r.Float64() < 0.10 {
+			v = 0.2 + 0.01*r.Float64() // 10% of mass at the 200 ms RTO
+		}
+		h.Add(v)
+	}
+	res.Points = append(res.Points, mpibench.Point{Size: 1024, Hist: h})
+	set.Add(res)
+
+	base, err := NewEmpiricalDB(set, mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewFittedDBFrom(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean must still reflect the spike (≈ 0.9·1.1ms + 0.1·205ms).
+	want := base.Mean(1024, 2)
+	if got := db.Mean(1024, 2); math.Abs(got-want)/want > 0.02 {
+		t.Errorf("fallback mean %v vs empirical %v", got, want)
+	}
+	// Samples must include the spike region.
+	spikes := 0
+	for i := 0; i < 5000; i++ {
+		if db.Sample(r, 1024, 2) > 0.1 {
+			spikes++
+		}
+	}
+	if frac := float64(spikes) / 5000; math.Abs(frac-0.10) > 0.03 {
+		t.Errorf("spike mass %v after fallback, want ~0.10", frac)
+	}
+}
+
+func TestFittedDBNilBase(t *testing.T) {
+	if _, err := NewFittedDBFrom(nil); err == nil {
+		t.Error("nil base should fail")
+	}
+}
+
+func TestFittedDBDelegatesConstants(t *testing.T) {
+	base, err := NewEmpiricalDB(smoothSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewFittedDBFrom(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SendBusy(100) != base.SendBusy(100) ||
+		db.RecvBusy(100) != base.RecvBusy(100) ||
+		db.EagerLimit() != base.EagerLimit() {
+		t.Error("fitted DB does not delegate machine constants")
+	}
+}

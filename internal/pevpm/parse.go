@@ -1,0 +1,379 @@
+package pevpm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parse reads a PEVPM model in the paper's directive syntax (Figure 5).
+// Directives may appear bare or as C/C++ comments; continuation lines
+// start with '&'. Example:
+//
+//	// PEVPM Param xsize = 256
+//	// PEVPM Loop iterations = 1000
+//	// PEVPM {
+//	// PEVPM Runon c1 = procnum%2 == 0
+//	// PEVPM &     c2 = procnum%2 != 0
+//	// PEVPM {
+//	// PEVPM Message type = MPI_Send
+//	// PEVPM &       size = xsize*sizeof(float)
+//	// PEVPM &       from = procnum
+//	// PEVPM &       to   = procnum-1
+//	// PEVPM }
+//	// PEVPM {
+//	// PEVPM Serial on perseus time = 3.24/numprocs
+//	// PEVPM }
+//	// PEVPM }
+//
+// Param is this implementation's directive for binding model constants
+// (the values that, in the paper's annotated-C form, come from the
+// surrounding program text).
+func Parse(src string) (*Program, error) {
+	dirs, err := lexDirectives(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := NewProgram()
+	p := &dirParser{dirs: dirs, prog: prog}
+	body, err := p.parseBlockBody(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.dirs) {
+		return nil, fmt.Errorf("pevpm: line %d: unexpected %q", p.dirs[p.pos].line, p.dirs[p.pos].head)
+	}
+	prog.Body = body
+	return prog, prog.Validate()
+}
+
+// directive is one logical directive after continuation merging.
+type directive struct {
+	line   int      // first source line, for error messages
+	head   string   // "Loop", "Runon", "Message", "Serial", "Param", "{", "}"
+	rest   string   // the head line's remainder
+	fields []string // continuation lines ("key = value")
+}
+
+func lexDirectives(src string) ([]directive, error) {
+	var dirs []directive
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		line = strings.TrimPrefix(line, "//")
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "PEVPM") {
+			continue // interleaved program text in annotated sources
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, "PEVPM"))
+		if line == "" {
+			return nil, fmt.Errorf("pevpm: line %d: empty directive", i+1)
+		}
+		if strings.HasPrefix(line, "&") {
+			if len(dirs) == 0 {
+				return nil, fmt.Errorf("pevpm: line %d: continuation with no directive", i+1)
+			}
+			dirs[len(dirs)-1].fields = append(dirs[len(dirs)-1].fields,
+				strings.TrimSpace(strings.TrimPrefix(line, "&")))
+			continue
+		}
+		head, rest := line, ""
+		if idx := strings.IndexAny(line, " \t"); idx >= 0 {
+			head, rest = line[:idx], strings.TrimSpace(line[idx+1:])
+		}
+		dirs = append(dirs, directive{line: i + 1, head: head, rest: rest})
+	}
+	return dirs, nil
+}
+
+// splitField splits "key = value" at the first standalone '=' (not part
+// of ==, !=, <=, >=).
+func splitField(s string) (key, value string, err error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '=' {
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '=' {
+			i++ // skip ==
+			continue
+		}
+		if i > 0 && (s[i-1] == '!' || s[i-1] == '<' || s[i-1] == '>' || s[i-1] == '=') {
+			continue
+		}
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), nil
+	}
+	return "", "", fmt.Errorf("pevpm: field %q has no '='", s)
+}
+
+type dirParser struct {
+	dirs []directive
+	pos  int
+	prog *Program
+}
+
+func (p *dirParser) peek() (directive, bool) {
+	if p.pos >= len(p.dirs) {
+		return directive{}, false
+	}
+	return p.dirs[p.pos], true
+}
+
+// parseBlockBody parses directives until a closing '}' (when inner) or
+// end of input (top level).
+func (p *dirParser) parseBlockBody(inner bool) (Block, error) {
+	var block Block
+	for {
+		d, ok := p.peek()
+		if !ok {
+			if inner {
+				return nil, fmt.Errorf("pevpm: unexpected end of model: missing '}'")
+			}
+			return block, nil
+		}
+		if d.head == "}" {
+			if !inner {
+				return nil, fmt.Errorf("pevpm: line %d: unmatched '}'", d.line)
+			}
+			p.pos++
+			return block, nil
+		}
+		node, err := p.parseDirective()
+		if err != nil {
+			return nil, err
+		}
+		if node != nil {
+			block = append(block, node)
+		}
+	}
+}
+
+// parseBracedBlock expects '{' and parses through the matching '}'.
+func (p *dirParser) parseBracedBlock(owner string, line int) (Block, error) {
+	d, ok := p.peek()
+	if !ok || d.head != "{" {
+		return nil, fmt.Errorf("pevpm: line %d: %s must be followed by a '{' block", line, owner)
+	}
+	p.pos++
+	return p.parseBlockBody(true)
+}
+
+func (p *dirParser) parseDirective() (Node, error) {
+	d := p.dirs[p.pos]
+	p.pos++
+	switch d.head {
+	case "Param":
+		key, value, err := splitField(d.rest)
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		expr, err := ParseExpr(value)
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		// Params may reference previously defined params.
+		env := Env{}
+		for k, v := range p.prog.Params {
+			env[k] = v
+		}
+		v, err := expr.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		p.prog.Params[key] = v
+		return nil, nil
+
+	case "Loop":
+		_, value, err := splitField(d.rest) // key name ("iterations") is documentation
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		count, err := ParseExpr(value)
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		body, err := p.parseBracedBlock("Loop", d.line)
+		if err != nil {
+			return nil, err
+		}
+		return &Loop{Count: count, Body: body}, nil
+
+	case "Runon":
+		fields := append([]string{d.rest}, d.fields...)
+		node := &Runon{}
+		for _, f := range fields {
+			_, value, err := splitField(f)
+			if err != nil {
+				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			}
+			cond, err := ParseExpr(value)
+			if err != nil {
+				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			}
+			node.Conds = append(node.Conds, cond)
+		}
+		for range node.Conds {
+			body, err := p.parseBracedBlock("Runon", d.line)
+			if err != nil {
+				return nil, err
+			}
+			node.Bodies = append(node.Bodies, body)
+		}
+		return node, nil
+
+	case "Message":
+		fields := append([]string{d.rest}, d.fields...)
+		msg := &Msg{}
+		seen := map[string]bool{}
+		for _, f := range fields {
+			key, value, err := splitField(f)
+			if err != nil {
+				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("pevpm: line %d: duplicate Message field %q", d.line, key)
+			}
+			seen[key] = true
+			switch key {
+			case "type":
+				kind, err := ParseMsgKind(value)
+				if err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+				msg.Kind = kind
+			case "size":
+				if msg.Size, err = ParseExpr(value); err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+			case "from":
+				if msg.From, err = ParseExpr(value); err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+			case "to":
+				if msg.To, err = ParseExpr(value); err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+			default:
+				return nil, fmt.Errorf("pevpm: line %d: unknown Message field %q", d.line, key)
+			}
+		}
+		if !seen["type"] || msg.Size == nil || msg.From == nil || msg.To == nil {
+			return nil, fmt.Errorf("pevpm: line %d: Message needs type, size, from and to", d.line)
+		}
+		return msg, nil
+
+	case "Collective":
+		fields := append([]string{d.rest}, d.fields...)
+		coll := &Coll{}
+		for _, f := range fields {
+			key, value, err := splitField(f)
+			if err != nil {
+				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			}
+			switch key {
+			case "type":
+				coll.Op = value
+			case "size":
+				if coll.Size, err = ParseExpr(value); err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+			case "root":
+				if coll.Root, err = ParseExpr(value); err != nil {
+					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				}
+			default:
+				return nil, fmt.Errorf("pevpm: line %d: unknown Collective field %q", d.line, key)
+			}
+		}
+		if coll.Op == "" || coll.Size == nil {
+			return nil, fmt.Errorf("pevpm: line %d: Collective needs type and size", d.line)
+		}
+		return coll, nil
+
+	case "Serial":
+		rest := d.rest
+		machine := ""
+		if strings.HasPrefix(rest, "on ") {
+			rest = strings.TrimSpace(rest[3:])
+			idx := strings.IndexAny(rest, " \t")
+			if idx < 0 {
+				return nil, fmt.Errorf("pevpm: line %d: Serial on <machine> needs a time field", d.line)
+			}
+			machine, rest = rest[:idx], strings.TrimSpace(rest[idx:])
+		}
+		key, value, err := splitField(rest)
+		if err != nil || key != "time" {
+			return nil, fmt.Errorf("pevpm: line %d: Serial needs 'time = <expr>'", d.line)
+		}
+		expr, err := ParseExpr(value)
+		if err != nil {
+			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+		}
+		return &Serial{Machine: machine, Time: expr}, nil
+
+	case "{":
+		return nil, fmt.Errorf("pevpm: line %d: block without an owning directive", d.line)
+	default:
+		return nil, fmt.Errorf("pevpm: line %d: unknown directive %q", d.line, d.head)
+	}
+}
+
+// Format renders a program back into directive syntax; Parse(Format(p))
+// reproduces the program.
+func Format(p *Program) string {
+	var b strings.Builder
+	keys := make([]string, 0, len(p.Params))
+	for k := range p.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "PEVPM Param %s = %g\n", k, p.Params[k])
+	}
+	formatBlock(&b, p.Body, 0)
+	return b.String()
+}
+
+func formatBlock(b *strings.Builder, block Block, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, n := range block {
+		switch node := n.(type) {
+		case *Loop:
+			fmt.Fprintf(b, "PEVPM %sLoop iterations = %s\n", indent, node.Count.String())
+			fmt.Fprintf(b, "PEVPM %s{\n", indent)
+			formatBlock(b, node.Body, depth+1)
+			fmt.Fprintf(b, "PEVPM %s}\n", indent)
+		case *Runon:
+			for i, c := range node.Conds {
+				if i == 0 {
+					fmt.Fprintf(b, "PEVPM %sRunon c1 = %s\n", indent, c.String())
+				} else {
+					fmt.Fprintf(b, "PEVPM %s&     c%d = %s\n", indent, i+1, c.String())
+				}
+			}
+			for _, body := range node.Bodies {
+				fmt.Fprintf(b, "PEVPM %s{\n", indent)
+				formatBlock(b, body, depth+1)
+				fmt.Fprintf(b, "PEVPM %s}\n", indent)
+			}
+		case *Msg:
+			fmt.Fprintf(b, "PEVPM %sMessage type = %s\n", indent, node.Kind)
+			fmt.Fprintf(b, "PEVPM %s&       size = %s\n", indent, node.Size.String())
+			fmt.Fprintf(b, "PEVPM %s&       from = %s\n", indent, node.From.String())
+			fmt.Fprintf(b, "PEVPM %s&       to = %s\n", indent, node.To.String())
+		case *Coll:
+			fmt.Fprintf(b, "PEVPM %sCollective type = %s\n", indent, node.Op)
+			fmt.Fprintf(b, "PEVPM %s&          size = %s\n", indent, node.Size.String())
+			if node.Root != nil {
+				fmt.Fprintf(b, "PEVPM %s&          root = %s\n", indent, node.Root.String())
+			}
+		case *Serial:
+			if node.Machine != "" {
+				fmt.Fprintf(b, "PEVPM %sSerial on %s time = %s\n", indent, node.Machine, node.Time.String())
+			} else {
+				fmt.Fprintf(b, "PEVPM %sSerial time = %s\n", indent, node.Time.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package pevpm
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure5 is the paper's annotated Jacobi Iteration skeleton (Figure 5)
+// in standalone directive form, with Param directives binding the values
+// that the C program text supplied.
+const figure5 = `
+# Jacobi Iteration, Figure 5 of the paper.
+PEVPM Param xsize = 256
+PEVPM Param iterations = 1000
+
+PEVPM Loop iterations = iterations
+PEVPM {
+PEVPM   Runon c1 = procnum%2 == 0
+PEVPM   &     c2 = procnum%2 != 0
+PEVPM   {
+PEVPM     Runon c1 = procnum != 0
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum-1
+PEVPM     }
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum+1
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum+1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM     Runon c1 = procnum != 0
+PEVPM     {
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum-1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM   }
+PEVPM   {
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum+1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM     Message type = MPI_Recv
+PEVPM     &       size = xsize*sizeof(float)
+PEVPM     &       from = procnum-1
+PEVPM     &       to = procnum
+PEVPM     Message type = MPI_Send
+PEVPM     &       size = xsize*sizeof(float)
+PEVPM     &       from = procnum
+PEVPM     &       to = procnum-1
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum+1
+PEVPM     }
+PEVPM   }
+PEVPM   Serial on perseus time = 3.24/numprocs
+PEVPM }
+`
+
+func TestParseFigure5(t *testing.T) {
+	prog, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Params["xsize"] != 256 || prog.Params["iterations"] != 1000 {
+		t.Errorf("params = %v", prog.Params)
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("top level has %d nodes", len(prog.Body))
+	}
+	loop, ok := prog.Body[0].(*Loop)
+	if !ok {
+		t.Fatalf("top node is %T", prog.Body[0])
+	}
+	if len(loop.Body) != 2 {
+		t.Fatalf("loop body has %d nodes, want Runon + Serial", len(loop.Body))
+	}
+	runon, ok := loop.Body[0].(*Runon)
+	if !ok {
+		t.Fatalf("first loop node is %T", loop.Body[0])
+	}
+	if len(runon.Conds) != 2 || len(runon.Bodies) != 2 {
+		t.Fatalf("Runon has %d conds, %d bodies", len(runon.Conds), len(runon.Bodies))
+	}
+	serial, ok := loop.Body[1].(*Serial)
+	if !ok {
+		t.Fatalf("second loop node is %T", loop.Body[1])
+	}
+	if serial.Machine != "perseus" {
+		t.Errorf("Serial machine = %q", serial.Machine)
+	}
+	// Even branch: Runon(send up), Runon(send down + recv), Runon(recv).
+	if len(runon.Bodies[0]) != 3 {
+		t.Errorf("even branch has %d nodes", len(runon.Bodies[0]))
+	}
+	// Odd branch: Runon(recv), recv, send, Runon(send).
+	if len(runon.Bodies[1]) != 4 {
+		t.Errorf("odd branch has %d nodes", len(runon.Bodies[1]))
+	}
+}
+
+func TestParseAnnotatedCSource(t *testing.T) {
+	// Directives embedded as comments in C code, non-PEVPM lines ignored.
+	src := `
+int main(void) {
+// PEVPM Param n = 4
+  for (i = 0; i < n; i++) {
+// PEVPM Serial time = 0.5
+    compute();
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Params["n"] != 4 || len(prog.Body) != 1 {
+		t.Errorf("annotated parse: params=%v body=%d", prog.Params, len(prog.Body))
+	}
+}
+
+func TestParamReferencesEarlierParam(t *testing.T) {
+	prog, err := Parse(`
+PEVPM Param xsize = 128
+PEVPM Param bytes = xsize*sizeof(float)
+PEVPM Serial time = 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Params["bytes"] != 512 {
+		t.Errorf("bytes = %v", prog.Params["bytes"])
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted model: %v\n%s", err, text)
+	}
+	if Format(back) != text {
+		t.Error("Format is not a fixed point")
+	}
+	if back.Params["xsize"] != 256 {
+		t.Error("round trip lost params")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing brace":        "PEVPM Loop n = 3\nPEVPM Serial time = 1",
+		"unclosed block":       "PEVPM Loop n = 3\nPEVPM {\nPEVPM Serial time = 1",
+		"unmatched close":      "PEVPM }",
+		"orphan continuation":  "PEVPM & size = 4",
+		"unknown directive":    "PEVPM Frobnicate x = 1",
+		"bad message type":     "PEVPM Message type = MPI_Bogus\nPEVPM & size = 1\nPEVPM & from = 0\nPEVPM & to = 1",
+		"incomplete message":   "PEVPM Message type = MPI_Send\nPEVPM & size = 4",
+		"duplicate field":      "PEVPM Message type = MPI_Send\nPEVPM & type = MPI_Send\nPEVPM & size=1\nPEVPM & from=0\nPEVPM & to=1",
+		"unknown msg field":    "PEVPM Message type = MPI_Send\nPEVPM & bogus = 1\nPEVPM & size=1\nPEVPM & from=0\nPEVPM & to=1",
+		"serial without time":  "PEVPM Serial on host speed = 2",
+		"field without equals": "PEVPM Param xsize",
+		"bad expression":       "PEVPM Param x = ((",
+		"bare block":           "PEVPM {\nPEVPM }",
+		"runon without blocks": "PEVPM Runon c1 = procnum == 0\nPEVPM Serial time = 1",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestFormatContainsDirectives(t *testing.T) {
+	prog, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	// sizeof(...) folds to a constant at parse time, so it is absent.
+	for _, want := range []string{"Loop", "Runon", "MPI_Send", "MPI_Recv", "Serial on perseus", "xsize"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted model missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package pevpm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpibench"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fakeSet builds a benchmark set with hand-made histograms so
+// interpolation can be checked exactly: mean time = procs·size µs.
+func fakeSet(t *testing.T) *mpibench.Set {
+	t.Helper()
+	set := &mpibench.Set{Cluster: "fake"}
+	for _, procs := range []int{2, 8} {
+		res := &mpibench.Result{
+			Cluster: "fake", Op: mpibench.OpIsend,
+			Placement: map[int]string{2: "2x1", 8: "8x1"}[procs],
+			Procs:     procs, BinWidth: 1e-6,
+		}
+		for _, size := range []int{100, 1000} {
+			h := stats.NewHistogram(1e-7)
+			center := float64(procs) * float64(size) * 1e-6
+			for i := -50; i <= 50; i++ {
+				h.Add(center + float64(i)*1e-9)
+			}
+			res.Points = append(res.Points, mpibench.Point{Size: size, Hist: h})
+		}
+		set.Add(res)
+	}
+	return set
+}
+
+func TestEmpiricalDBExactPoints(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Mean(100, 2); math.Abs(got-200e-6) > 1e-9 {
+		t.Errorf("Mean(100, 2) = %v, want 200µs", got)
+	}
+	if got := db.Mean(1000, 8); math.Abs(got-8000e-6) > 1e-9 {
+		t.Errorf("Mean(1000, 8) = %v, want 8000µs", got)
+	}
+}
+
+func TestEmpiricalDBInterpolatesSize(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halfway between size 100 (200µs) and size 1000 (2000µs) at procs 2.
+	got := db.Mean(550, 2)
+	if math.Abs(got-1100e-6) > 1e-8 {
+		t.Errorf("Mean(550, 2) = %v, want 1100µs", got)
+	}
+}
+
+func TestEmpiricalDBInterpolatesContention(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contention 5 sits halfway between procs 2 (200µs) and 8 (800µs).
+	got := db.Mean(100, 5)
+	if math.Abs(got-500e-6) > 1e-8 {
+		t.Errorf("Mean(100, 5) = %v, want 500µs", got)
+	}
+}
+
+func TestEmpiricalDBClampsOutside(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Mean(100, 1); got != db.Mean(100, 2) {
+		t.Error("below-range contention should clamp to the smallest config")
+	}
+	if got := db.Mean(100, 100); got != db.Mean(100, 8) {
+		t.Error("above-range contention should clamp to the largest config")
+	}
+	if got := db.Mean(10, 2); got != db.Mean(100, 2) {
+		t.Error("below-range size should clamp")
+	}
+	if got := db.Mean(5000, 2); got != db.Mean(1000, 2) {
+		t.Error("above-range size should clamp")
+	}
+}
+
+func TestEmpiricalDBSampleWithinSupport(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(1)
+	lo := db.Min(550, 5)
+	for i := 0; i < 1000; i++ {
+		v := db.Sample(r, 550, 5)
+		if v < lo-1e-6 || v > db.Mean(550, 5)*2 {
+			t.Fatalf("sample %v far outside blended support", v)
+		}
+	}
+	// The sample mean should approximate the blended mean.
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += db.Sample(r, 550, 5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-db.Mean(550, 5))/db.Mean(550, 5) > 0.05 {
+		t.Errorf("sample mean %v vs blended mean %v", mean, db.Mean(550, 5))
+	}
+}
+
+func TestEmpiricalDBErrors(t *testing.T) {
+	if _, err := NewEmpiricalDB(&mpibench.Set{}, mpibench.OpIsend, cluster.Perseus()); err == nil {
+		t.Error("empty set should fail")
+	}
+	set := &mpibench.Set{}
+	set.Add(&mpibench.Result{Op: mpibench.OpIsend, Placement: "2x1", Procs: 2,
+		Points: []mpibench.Point{{Size: 8, Hist: stats.NewHistogram(1e-6)}}})
+	if _, err := NewEmpiricalDB(set, mpibench.OpIsend, cluster.Perseus()); err == nil {
+		t.Error("empty histogram should fail")
+	}
+}
+
+func TestCollapseModes(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(2)
+	mean := Collapse(db, ModeMean)
+	min := Collapse(db, ModeMin)
+	for i := 0; i < 10; i++ {
+		if mean.Sample(r, 100, 2) != db.Mean(100, 2) {
+			t.Fatal("ModeMean sample != mean")
+		}
+		if min.Sample(r, 100, 2) != db.Min(100, 2) {
+			t.Fatal("ModeMin sample != min")
+		}
+	}
+	if min.Sample(r, 100, 2) >= mean.Sample(r, 100, 2) {
+		t.Error("min mode should be below mean mode")
+	}
+}
+
+func TestFixContention(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := FixContention(db, 2)
+	r := sim.NewRNG(3)
+	// Whatever scoreboard contention is passed, the 2×1 data is used.
+	if got := fixed.Mean(100, 64); got != db.Mean(100, 2) {
+		t.Errorf("fixed Mean = %v", got)
+	}
+	if got := fixed.Min(100, 64); got != db.Min(100, 2) {
+		t.Errorf("fixed Min = %v", got)
+	}
+	s := fixed.Sample(r, 100, 64)
+	if s < db.Min(100, 2)-1e-9 || s > db.Mean(100, 2)*1.5 {
+		t.Errorf("fixed Sample = %v outside 2x1 support", s)
+	}
+	// Composition: the paper's "avg 2x1 ping-pong" predictor.
+	pingpong := Collapse(FixContention(db, 2), ModeMean)
+	if pingpong.Sample(r, 100, 64) != db.Mean(100, 2) {
+		t.Error("Collapse(FixContention) composition broken")
+	}
+}
+
+func TestLogGPStyleDB(t *testing.T) {
+	db := LogGPStyleDB(100e-6, 10e6, 16384)
+	r := sim.NewRNG(4)
+	base := 100e-6 + 1000.0/10e6
+	if db.Min(1000, 2) != base {
+		t.Errorf("Min = %v, want %v", db.Min(1000, 2), base)
+	}
+	for i := 0; i < 100; i++ {
+		if db.Sample(r, 1000, 2) <= base {
+			t.Fatal("sample at or below the latency+bandwidth bound")
+		}
+	}
+	if db.Mean(1000, 64) <= db.Mean(1000, 2) {
+		t.Error("contention should raise the analytic mean")
+	}
+	if db.EagerLimit() != 16384 {
+		t.Error("eager limit lost")
+	}
+	if db.SendBusy(1) <= 0 || db.RecvBusy(1) <= 0 {
+		t.Error("busy costs must be positive")
+	}
+}
+
+// Property: interpolated means are monotone between grid points when the
+// underlying grid is monotone.
+func TestEmpiricalDBMonotoneInterpolation(t *testing.T) {
+	db, err := NewEmpiricalDB(fakeSet(t), mpibench.OpIsend, cluster.Perseus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for size := 100; size <= 1000; size += 50 {
+		m := db.Mean(size, 4)
+		if m < prev {
+			t.Fatalf("mean not monotone at size %d: %v < %v", size, m, prev)
+		}
+		prev = m
+	}
+	prev = 0
+	for k := 2; k <= 8; k++ {
+		m := db.Mean(500, k)
+		if m < prev {
+			t.Fatalf("mean not monotone at contention %d", k)
+		}
+		prev = m
+	}
+}

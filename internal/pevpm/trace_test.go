@@ -1,0 +1,64 @@
+package pevpm
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPredictedTimeline(t *testing.T) {
+	prog := NewProgram()
+	prog.Body = Block{
+		&Serial{Time: Num(0.01)},
+		&Runon{
+			Conds: []Expr{MustExpr("procnum == 0"), MustExpr("procnum == 1")},
+			Bodies: []Block{
+				{&Msg{Kind: MsgSend, Size: Num(1024), From: Num(0), To: Num(1)}},
+				{&Msg{Kind: MsgRecv, Size: Num(1024), From: Num(0), To: Num(1)}},
+			},
+		},
+	}
+	tl := trace.NewLog(0)
+	rep, err := Evaluate(prog, Options{
+		Procs: 2, DB: constDB(500e-6, 0, 0, 1<<20), Trace: tl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes, sends, posts, ends int
+	for _, ev := range tl.Events() {
+		switch ev.Kind {
+		case trace.ComputeStart:
+			computes++
+		case trace.SendStart:
+			sends++
+			if ev.Peer != 1 || ev.Size != 1024 {
+				t.Errorf("send event %+v", ev)
+			}
+		case trace.RecvPost:
+			posts++
+		case trace.RecvEnd:
+			ends++
+			// The receive completes at the process's final time.
+			if got := ev.Time.Seconds(); got != rep.ProcTimes[1] {
+				t.Errorf("recv end at %v, proc finished at %v", got, rep.ProcTimes[1])
+			}
+		}
+	}
+	if computes != 2 || sends != 1 || posts != 1 || ends != 1 {
+		t.Errorf("events: computes=%d sends=%d posts=%d ends=%d", computes, sends, posts, ends)
+	}
+	// The summaries view works on predicted timelines too.
+	sums := tl.Summaries()
+	if len(sums) != 2 || sums[1].Recvs != 1 {
+		t.Errorf("summaries: %+v", sums)
+	}
+}
+
+func TestPredictedTimelineOffByDefault(t *testing.T) {
+	prog := NewProgram()
+	prog.Body = Block{&Serial{Time: Num(0.01)}}
+	if _, err := Evaluate(prog, Options{Procs: 1, DB: constDB(1e-4, 0, 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+}

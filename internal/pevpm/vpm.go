@@ -1,0 +1,635 @@
+package pevpm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures one evaluation of a model.
+type Options struct {
+	Procs int    // numprocs of the virtual machine
+	DB    PerfDB // communication cost database
+	Seed  uint64 // Monte-Carlo seed
+
+	// NodeOf maps a process to its cluster node, letting the machine
+	// price messages between processes on one SMP node from the
+	// intra-node distributions. When nil every message is inter-node.
+	NodeOf func(proc int) int
+
+	// Trace, when non-nil, receives the *predicted* timeline in the
+	// same format internal/mpi emits for real executions — diffing the
+	// two Gantts localises mispredictions, and the trace alone is the
+	// paper's "location and extent of performance loss" view.
+	Trace *trace.Log
+}
+
+// Breakdown attributes one model process's virtual time to its sources —
+// the paper's "location and extent of performance loss due to any
+// source".
+type Breakdown struct {
+	Compute  float64 // Serial directives
+	SendBusy float64 // host time initiating sends (plus rendezvous blocking)
+	RecvWait float64 // blocked in receives (idle + pickup)
+}
+
+// HotSpot aggregates waiting time against one directive across all
+// processes, identifying where the model loses performance.
+type HotSpot struct {
+	Directive string
+	Wait      float64
+}
+
+// Report is the outcome of one evaluation.
+type Report struct {
+	Procs        int
+	ProcTimes    []float64 // per-process completion time (virtual seconds)
+	Makespan     float64   // max over processes
+	Sweeps       int       // sweep/match rounds executed
+	MessagesSent uint64
+	Breakdowns   []Breakdown
+	HotSpots     []HotSpot // sorted by descending wait
+}
+
+// ErrModelDeadlock is wrapped by Evaluate when the modelled program can
+// make no progress — mismatched Message directives, exactly the class of
+// bug the paper says PEVPM "automatically discovers".
+var ErrModelDeadlock = errors.New("pevpm: model deadlock")
+
+// Evaluate runs the virtual parallel machine over the program once. The
+// evaluation alternates sweep phases (advance every process to its next
+// decision point, accumulating sends on the contention scoreboard) and
+// match phases (sample arrival times from the database under the
+// scoreboard's contention level, then match receives), per §5 of the
+// paper.
+func Evaluate(prog *Program, opts Options) (*Report, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Procs <= 0 {
+		return nil, fmt.Errorf("pevpm: Procs = %d", opts.Procs)
+	}
+	if opts.DB == nil {
+		return nil, errors.New("pevpm: no performance database")
+	}
+	m := &machine{
+		prog: prog,
+		opts: opts,
+		rng:  sim.NewRNG(opts.Seed ^ 0x5eed5eed),
+		hot:  make(map[Node]float64),
+	}
+	return m.run()
+}
+
+// flight is one message on the contention scoreboard.
+type flight struct {
+	seq        uint64
+	from, to   int
+	size       int
+	intra      bool // endpoints share a node: loopback, not the network
+	depart     float64
+	arrival    float64
+	determined bool
+	sender     *mproc // parked rendezvous sender, if any
+	node       *Msg
+}
+
+// procState enumerates where a model process is between phases.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateParkedRecv
+	stateParkedSend
+	stateParkedColl
+	stateDone
+)
+
+// mproc is one process of the virtual parallel machine. Its program runs
+// in a goroutine, strictly interleaved with the evaluator.
+type mproc struct {
+	id    int
+	now   float64
+	state procState
+
+	// Receive the process is parked on.
+	waitFrom   int
+	waitPosted float64
+	waitNode   *Msg
+
+	// Collective the process is parked on.
+	collNode *Coll
+	collSeq  int // how many collectives this process has entered
+	collSize int
+
+	bd  Breakdown
+	err error
+
+	resume chan struct{}
+	yield  chan any
+}
+
+type machine struct {
+	prog *Program
+	opts Options
+	rng  *sim.RNG
+
+	procs   []*mproc
+	flights []*flight
+	seq     uint64
+	sent    uint64
+	sweeps  int
+	hot     map[Node]float64
+}
+
+func (m *machine) run() (*Report, error) {
+	m.procs = make([]*mproc, m.opts.Procs)
+	for i := range m.procs {
+		p := &mproc{id: i, resume: make(chan struct{}), yield: make(chan any)}
+		m.procs[i] = p
+		go m.procBody(p)
+	}
+	defer m.releaseAll()
+
+	for {
+		m.sweeps++
+		progress := false
+		for _, p := range m.procs {
+			if p.state == stateRunnable {
+				progress = true
+				m.step(p)
+				if p.err != nil {
+					return nil, p.err
+				}
+			}
+		}
+		allDone := true
+		for _, p := range m.procs {
+			if p.state != stateDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		matched := m.match()
+		collMatched, err := m.matchCollective()
+		if err != nil {
+			return nil, err
+		}
+		matched = matched || collMatched
+		if !matched && !progress {
+			return nil, m.deadlockError()
+		}
+		if !matched && !m.anyRunnable() {
+			return nil, m.deadlockError()
+		}
+	}
+	return m.report(), nil
+}
+
+// rec emits a predicted-timeline event when tracing is on. PEVPM's
+// virtual time is float seconds; the trace uses the kernel's Time.
+func (m *machine) rec(proc int, at float64, kind trace.Kind, peer, tag, size int) {
+	if m.opts.Trace == nil {
+		return
+	}
+	m.opts.Trace.Record(trace.Event{
+		Time: sim.TimeFromSeconds(at), Rank: proc, Kind: kind,
+		Peer: peer, Tag: tag, Size: size,
+	})
+}
+
+func (m *machine) anyRunnable() bool {
+	for _, p := range m.procs {
+		if p.state == stateRunnable {
+			return true
+		}
+	}
+	return false
+}
+
+// step transfers control into a process until it parks or finishes.
+func (m *machine) step(p *mproc) {
+	p.resume <- struct{}{}
+	if bad := <-p.yield; bad != nil {
+		panic(bad)
+	}
+}
+
+// park gives control back to the evaluator.
+func (p *mproc) park() {
+	p.yield <- nil
+	<-p.resume
+}
+
+// releaseAll unwinds remaining goroutines after an error or completion.
+func (m *machine) releaseAll() {
+	for _, p := range m.procs {
+		if p.state != stateDone {
+			p.state = stateDone
+			close(p.resume)
+		}
+	}
+}
+
+type procAbort struct{}
+
+// procBody runs the model program for one process.
+func (m *machine) procBody(p *mproc) {
+	if _, ok := <-p.resume; !ok {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAbort); ok {
+				return
+			}
+			p.state = stateDone
+			p.yield <- r
+			return
+		}
+		p.state = stateDone
+		p.yield <- nil
+	}()
+	env := Env{"procnum": float64(p.id), "numprocs": float64(m.opts.Procs)}
+	for k, v := range m.prog.Params {
+		env[k] = v
+	}
+	if err := m.execBlock(p, env, m.prog.Body); err != nil {
+		p.err = err
+	}
+}
+
+// pause parks the process inside directive execution; it aborts the
+// goroutine if the machine is shutting down.
+func (p *mproc) pause() {
+	p.yield <- nil
+	if _, ok := <-p.resume; !ok {
+		panic(procAbort{})
+	}
+}
+
+func (m *machine) execBlock(p *mproc, env Env, b Block) error {
+	for _, n := range b {
+		if err := m.execNode(p, env, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *machine) execNode(p *mproc, env Env, n Node) error {
+	switch node := n.(type) {
+	case *Serial:
+		t, err := node.Time.Eval(env)
+		if err != nil {
+			return err
+		}
+		if t < 0 {
+			return fmt.Errorf("pevpm: negative Serial time %v", t)
+		}
+		m.rec(p.id, p.now, trace.ComputeStart, -1, 0, 0)
+		p.now += t
+		p.bd.Compute += t
+		m.rec(p.id, p.now, trace.ComputeEnd, -1, 0, 0)
+		return nil
+
+	case *Loop:
+		cf, err := node.Count.Eval(env)
+		if err != nil {
+			return err
+		}
+		count := int(cf)
+		if count < 0 {
+			return fmt.Errorf("pevpm: negative Loop count %v", cf)
+		}
+		for i := 0; i < count; i++ {
+			if err := m.execBlock(p, env, node.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *Runon:
+		for i, cond := range node.Conds {
+			v, err := cond.Eval(env)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				return m.execBlock(p, env, node.Bodies[i])
+			}
+		}
+		return nil
+
+	case *Msg:
+		return m.execMsg(p, env, node)
+
+	case *Coll:
+		return m.execColl(p, env, node)
+	}
+	return fmt.Errorf("pevpm: unknown directive %T", n)
+}
+
+// execColl parks the process on a collective operation; the match phase
+// releases all processes together once everyone has arrived.
+func (m *machine) execColl(p *mproc, env Env, node *Coll) error {
+	if _, ok := m.opts.DB.(CollectiveSampler); !ok {
+		return fmt.Errorf("pevpm: model uses Collective %s but the database has no collective measurements", node.Op)
+	}
+	if cs := m.opts.DB.(CollectiveSampler); !cs.HasCollective(node.Op) {
+		return fmt.Errorf("pevpm: collective %s not present in the database", node.Op)
+	}
+	sizeF, err := node.Size.Eval(env)
+	if err != nil {
+		return err
+	}
+	if sizeF < 0 {
+		return fmt.Errorf("pevpm: negative collective size %v", sizeF)
+	}
+	if node.Root != nil {
+		if _, err := node.Root.Eval(env); err != nil {
+			return err
+		}
+	}
+	m.rec(p.id, p.now, trace.CollectiveStart, -1, 0, int(sizeF))
+	p.collNode = node
+	p.collSize = int(sizeF)
+	p.collSeq++
+	p.waitPosted = p.now
+	p.state = stateParkedColl
+	p.pause()
+	m.rec(p.id, p.now, trace.CollectiveEnd, -1, 0, int(sizeF))
+	return nil
+}
+
+// matchCollective releases the job from a collective once every process
+// has arrived: each process's completion is the synchronised entry (the
+// slowest arrival) plus a draw from the operation's measured per-rank
+// distribution. A process that finished or parked elsewhere while the
+// rest sit in a collective is a collective mismatch — a modelled program
+// bug, reported like a deadlock.
+func (m *machine) matchCollective() (bool, error) {
+	arrived := 0
+	var node *Coll
+	seq := -1
+	var entryMax float64
+	for _, p := range m.procs {
+		if p.state != stateParkedColl {
+			continue
+		}
+		arrived++
+		if node == nil {
+			node, seq = p.collNode, p.collSeq
+		} else if p.collNode != node || p.collSeq != seq {
+			return false, fmt.Errorf("%w: processes in different collectives (%s vs %s)",
+				ErrModelDeadlock, node.describe(), p.collNode.describe())
+		}
+		if p.now > entryMax {
+			entryMax = p.now
+		}
+	}
+	if arrived == 0 {
+		return false, nil
+	}
+	if arrived < len(m.procs) {
+		// Someone is not coming: either still making progress elsewhere
+		// (fine — wait) or finished/stuck (mismatch). Only fail when no
+		// other progress is possible; run() handles that via the normal
+		// deadlock path, which now includes collective parks.
+		return false, nil
+	}
+	// One draw per collective instance: the database's distribution is
+	// the per-instance slowest rank, and the whole job leaves together.
+	// (Independent per-process draws would inflate the instance maximum
+	// — rank completions within one collective are strongly correlated.)
+	cs := m.opts.DB.(CollectiveSampler)
+	size := m.procs[0].collSize
+	completion := entryMax + cs.SampleCollective(m.rng, node.Op, size, m.opts.Procs)
+	for _, p := range m.procs {
+		wait := completion - p.waitPosted
+		p.bd.RecvWait += wait
+		m.hot[node] += wait
+		p.now = completion
+		p.state = stateRunnable
+		p.collNode = nil
+	}
+	return true, nil
+}
+
+func (m *machine) execMsg(p *mproc, env Env, node *Msg) error {
+	sizeF, err := node.Size.Eval(env)
+	if err != nil {
+		return err
+	}
+	fromF, err := node.From.Eval(env)
+	if err != nil {
+		return err
+	}
+	toF, err := node.To.Eval(env)
+	if err != nil {
+		return err
+	}
+	size, from, to := int(sizeF), int(fromF), int(toF)
+	if size < 0 {
+		return fmt.Errorf("pevpm: negative message size %d", size)
+	}
+	if from < 0 || from >= m.opts.Procs || to < 0 || to >= m.opts.Procs {
+		return fmt.Errorf("pevpm: message endpoints %d->%d outside 0..%d",
+			from, to, m.opts.Procs-1)
+	}
+
+	switch node.Kind {
+	case MsgSend, MsgIsend:
+		if from != p.id {
+			return fmt.Errorf("pevpm: process %d executing a send whose from=%d", p.id, from)
+		}
+		m.rec(p.id, p.now, trace.SendStart, to, 0, size)
+		busy := m.opts.DB.SendBusy(size)
+		p.now += busy
+		p.bd.SendBusy += busy
+		m.seq++
+		m.sent++
+		f := &flight{
+			seq: m.seq, from: from, to: to, size: size,
+			intra:  m.opts.NodeOf != nil && m.opts.NodeOf(from) == m.opts.NodeOf(to),
+			depart: p.now, node: node,
+		}
+		m.flights = append(m.flights, f)
+		if node.Kind == MsgSend && size > m.opts.DB.EagerLimit() {
+			// Rendezvous: the send blocks until the payload is
+			// delivered; the match phase resolves the arrival.
+			f.sender = p
+			p.state = stateParkedSend
+			p.pause()
+		}
+		return nil
+
+	case MsgRecv:
+		if to != p.id {
+			return fmt.Errorf("pevpm: process %d executing a receive whose to=%d", p.id, to)
+		}
+		m.rec(p.id, p.now, trace.RecvPost, from, 0, size)
+		p.waitFrom = from
+		p.waitPosted = p.now
+		p.waitNode = node
+		p.state = stateParkedRecv
+		p.pause()
+		m.rec(p.id, p.now, trace.RecvEnd, from, 0, size)
+		return nil
+	}
+	return fmt.Errorf("pevpm: unknown message kind %v", node.Kind)
+}
+
+// match is the PEVPM match phase: determine arrival times for every
+// in-transit message under the current contention level, wake rendezvous
+// senders, and match determined messages to parked receives.
+func (m *machine) match() bool {
+	progress := false
+	// Contention is counted separately for the network and for the
+	// intra-node loopback path: a message between two CPUs of one node
+	// does not occupy the NIC or switch fabric.
+	interContention, intraContention := 0, 0
+	for _, f := range m.flights {
+		if f.intra {
+			intraContention++
+		} else {
+			interContention++
+		}
+	}
+
+	sort.Slice(m.flights, func(i, j int) bool {
+		if m.flights[i].depart != m.flights[j].depart {
+			return m.flights[i].depart < m.flights[j].depart
+		}
+		return m.flights[i].seq < m.flights[j].seq
+	})
+	for _, f := range m.flights {
+		if f.determined {
+			continue
+		}
+		if f.intra {
+			f.arrival = f.depart + m.opts.DB.SampleIntra(m.rng, f.size, intraContention)
+		} else {
+			f.arrival = f.depart + m.opts.DB.Sample(m.rng, f.size, interContention)
+		}
+		f.determined = true
+		if f.sender != nil {
+			// Rendezvous completion: the sender was blocked from depart
+			// until delivery.
+			blocked := f.arrival - f.sender.now
+			if blocked > 0 {
+				f.sender.bd.SendBusy += blocked
+				f.sender.now = f.arrival
+			}
+			f.sender.state = stateRunnable
+			f.sender = nil
+			progress = true
+		}
+	}
+
+	// Match parked receives against determined flights, oldest flight
+	// first per (from, to) pair — MPI's non-overtaking rule.
+	for _, p := range m.procs {
+		if p.state != stateParkedRecv {
+			continue
+		}
+		var best *flight
+		bestIdx := -1
+		for i, f := range m.flights {
+			if !f.determined || f.to != p.id || f.from != p.waitFrom {
+				continue
+			}
+			if best == nil || f.seq < best.seq {
+				best, bestIdx = f, i
+			}
+		}
+		if best == nil {
+			continue
+		}
+		// If the message arrived before the receive was posted it was
+		// buffered: the receiver only pays the pickup cost. Otherwise
+		// the receive completes at the measured arrival time.
+		completion := best.arrival
+		if late := p.waitPosted + m.opts.DB.RecvBusy(best.size); late > completion {
+			completion = late
+		}
+		wait := completion - p.waitPosted
+		p.bd.RecvWait += wait
+		m.hot[p.waitNode] += wait
+		p.now = completion
+		p.state = stateRunnable
+		m.flights = append(m.flights[:bestIdx], m.flights[bestIdx+1:]...)
+		progress = true
+	}
+	return progress
+}
+
+func (m *machine) deadlockError() error {
+	var stuck []string
+	for _, p := range m.procs {
+		switch p.state {
+		case stateParkedRecv:
+			stuck = append(stuck, fmt.Sprintf("proc %d in %s (posted at %.6fs)",
+				p.id, p.waitNode.describe(), p.waitPosted))
+		case stateParkedSend:
+			stuck = append(stuck, fmt.Sprintf("proc %d in rendezvous send", p.id))
+		case stateParkedColl:
+			stuck = append(stuck, fmt.Sprintf("proc %d in %s (others never arrived)",
+				p.id, p.collNode.describe()))
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrModelDeadlock, strings.Join(stuck, "; "))
+}
+
+func (m *machine) report() *Report {
+	r := &Report{
+		Procs:        m.opts.Procs,
+		ProcTimes:    make([]float64, len(m.procs)),
+		Sweeps:       m.sweeps,
+		MessagesSent: m.sent,
+		Breakdowns:   make([]Breakdown, len(m.procs)),
+	}
+	for i, p := range m.procs {
+		r.ProcTimes[i] = p.now
+		r.Breakdowns[i] = p.bd
+		if p.now > r.Makespan {
+			r.Makespan = p.now
+		}
+	}
+	for node, wait := range m.hot {
+		r.HotSpots = append(r.HotSpots, HotSpot{Directive: node.describe(), Wait: wait})
+	}
+	sort.Slice(r.HotSpots, func(i, j int) bool {
+		if r.HotSpots[i].Wait != r.HotSpots[j].Wait {
+			return r.HotSpots[i].Wait > r.HotSpots[j].Wait
+		}
+		return r.HotSpots[i].Directive < r.HotSpots[j].Directive
+	})
+	return r
+}
+
+// EvaluateN runs independent Monte-Carlo evaluations with derived seeds
+// and returns the summary of their makespans — the paper runs many
+// iterations "so that the statistical error in the mean is negligibly
+// small".
+func EvaluateN(prog *Program, opts Options, n int) (stats.Summary, error) {
+	var sum stats.Summary
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*7919
+		rep, err := Evaluate(prog, o)
+		if err != nil {
+			return sum, err
+		}
+		sum.Add(rep.Makespan)
+	}
+	return sum, nil
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// An event is a callback scheduled at a point in virtual time. Events with
+// equal timestamps execute in scheduling order (seq breaks ties), which
+// keeps simulations deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once popped or cancelled
+	canceled bool
+}
+
+// EventHandle allows a scheduled event to be cancelled before it fires.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op. Returns true if the event
+// was still pending.
+func (h *EventHandle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h *EventHandle) Pending() bool {
+	return h != nil && h.ev != nil && !h.ev.canceled && h.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrDeadlock is returned (wrapped) by Run when the event queue drains
+// while spawned processes are still blocked: no event can ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use; all model code runs on the engine's schedule, either as
+// event callbacks or as processes interleaved one at a time.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	seed uint64
+	rngs map[string]*RNG
+
+	procs   map[*Proc]struct{}
+	current *Proc // process currently holding control, nil in event context
+
+	// Tracer, when non-nil, receives a line for significant kernel
+	// happenings (process start/stop, deadlock diagnosis). Model code can
+	// also log through Engine.Tracef.
+	Tracer func(t Time, line string)
+
+	stopped bool
+}
+
+// NewEngine returns an engine whose random streams derive from seed.
+// The same seed always yields the same simulation.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		seed:  seed,
+		rngs:  make(map[string]*RNG),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// RNG returns the named deterministic random stream, creating it on first
+// use. Distinct names yield independent streams; the same (seed, name)
+// pair always yields the same sequence.
+func (e *Engine) RNG(name string) *RNG {
+	r, ok := e.rngs[name]
+	if !ok {
+		r = NewRNG(streamSeed(e.seed, name))
+		e.rngs[name] = r
+	}
+	return r
+}
+
+// Schedule runs fn after delay (>= 0) of virtual time.
+func (e *Engine) Schedule(delay Duration, fn func()) *EventHandle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now.Add(delay), fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &EventHandle{ev: ev}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Tracef emits a formatted line to the engine's Tracer, if any.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.Tracer != nil {
+		e.Tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// virtual clock would pass until. Pass Forever to run to completion.
+// It returns the final virtual time. If the queue drains while spawned
+// processes remain blocked, Run returns an error wrapping ErrDeadlock
+// that names the stuck processes.
+func (e *Engine) Run(until Time) (Time, error) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			e.now = until
+			return e.now, nil
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if blocked := e.blockedProcs(); len(blocked) > 0 && !e.stopped {
+		return e.now, fmt.Errorf("%w: %d process(es) blocked forever: %s",
+			ErrDeadlock, len(blocked), strings.Join(blocked, ", "))
+	}
+	return e.now, nil
+}
+
+// blockedProcs lists the names of spawned processes that are parked with
+// no pending wakeup, sorted for stable error messages.
+func (e *Engine) blockedProcs() []string {
+	var names []string
+	for p := range e.procs {
+		if p.state == procBlocked {
+			names = append(names, p.describeBlocked())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Pending reports how many events are waiting in the queue (including
+// cancelled ones not yet popped); it is intended for tests.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,172 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procReady    procState = iota // running or scheduled to run
+	procSleeping                  // parked with a pending wakeup event
+	procBlocked                   // parked until someone calls Unblock
+	procDone                      // body returned
+)
+
+type procSignal int
+
+const (
+	sigRun procSignal = iota
+	sigKill
+)
+
+// errKilled is panicked inside a process goroutine when the engine shuts
+// down, unwinding the body so the goroutine can exit.
+type errKilled struct{}
+
+// Proc is an imperative simulation process. Its body runs in a dedicated
+// goroutine, but the engine interleaves processes strictly one at a time:
+// a process only executes between a resume and the next park, so model
+// state needs no locking.
+type Proc struct {
+	e      *Engine
+	name   string
+	state  procState
+	reason string // what the process is blocked on, for deadlock reports
+
+	resume chan procSignal
+	// yield transfers control back to the engine; a non-nil value is a
+	// panic from the process body, re-raised in engine context.
+	yield chan any
+}
+
+// Spawn creates a process and schedules its body to start at the current
+// virtual time. The name appears in traces and deadlock reports.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		resume: make(chan procSignal),
+		yield:  make(chan any),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		if sig := <-p.resume; sig == sigKill {
+			p.yield <- nil
+			return
+		}
+		defer func() {
+			var bad any
+			if r := recover(); r != nil {
+				if _, ok := r.(errKilled); !ok {
+					bad = r // real panic from model code: re-raise in engine context
+				}
+			}
+			p.state = procDone
+			delete(e.procs, p)
+			p.yield <- bad
+		}()
+		body(p)
+	}()
+	e.Schedule(0, p.wake)
+	e.Tracef("spawn %s", name)
+	return p
+}
+
+// wake transfers control into the process until it parks or finishes.
+// It runs in event context.
+func (p *Proc) wake() {
+	if p.state == procDone {
+		return
+	}
+	p.state = procReady
+	prev := p.e.current
+	p.e.current = p
+	p.resume <- sigRun
+	bad := <-p.yield
+	p.e.current = prev
+	if bad != nil {
+		panic(bad)
+	}
+}
+
+// park gives control back to the engine and waits to be resumed.
+func (p *Proc) park() {
+	p.yield <- nil
+	if sig := <-p.resume; sig == sigKill {
+		panic(errKilled{})
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.checkCurrent("Sleep")
+	p.state = procSleeping
+	p.e.Schedule(d, p.wake)
+	p.park()
+}
+
+// Yield lets every other event and process scheduled at the current time
+// run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Block parks the process until another process or event calls Unblock.
+// The reason string is reported if the simulation deadlocks. Callers that
+// wait for a condition should loop: for !cond { p.Block("...") }.
+func (p *Proc) Block(reason string) {
+	p.checkCurrent("Block")
+	p.state = procBlocked
+	p.reason = reason
+	p.park()
+	p.reason = ""
+}
+
+// Unblock makes a blocked process runnable at the current virtual time.
+// It is a no-op unless the process is currently blocked, so it is always
+// safe to call; waiters must re-check their condition after waking.
+func (p *Proc) Unblock() {
+	if p.state != procBlocked {
+		return
+	}
+	p.state = procReady
+	p.e.Schedule(0, p.wake)
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Blocked reports whether the process is parked waiting for Unblock.
+func (p *Proc) Blocked() bool { return p.state == procBlocked }
+
+func (p *Proc) describeBlocked() string {
+	if p.reason == "" {
+		return p.name
+	}
+	return p.name + " (" + p.reason + ")"
+}
+
+func (p *Proc) checkCurrent(op string) {
+	if p.e.current != p {
+		panic(fmt.Sprintf("sim: %s.%s called from outside the process", p.name, op))
+	}
+}
+
+// Shutdown unwinds every parked process goroutine. Call it when
+// abandoning a simulation early (e.g. after RunUntil a cutoff) so
+// goroutines do not outlive the engine. The engine must not be Run again.
+func (e *Engine) Shutdown() {
+	for p := range e.procs {
+		if p.state == procSleeping || p.state == procBlocked {
+			p.resume <- sigKill
+			<-p.yield
+		}
+		delete(e.procs, p)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Second)
+			times = append(times, p.Now())
+		}
+	})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want := TimeFromSeconds(float64(i + 1))
+		if tt != want {
+			t.Errorf("wake %d at %v, want %v", i, tt, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Sleep(Second)
+			}
+		})
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcBlockUnblockHandshake(t *testing.T) {
+	e := NewEngine(1)
+	ready := false
+	var consumer *Proc
+	consumer = e.Spawn("consumer", func(p *Proc) {
+		for !ready {
+			p.Block("waiting for producer")
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Sleep(2 * Second)
+		ready = true
+		consumer.Unblock()
+	})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !consumer.Done() {
+		t.Error("consumer did not finish")
+	}
+}
+
+func TestUnblockIsNoOpWhenNotBlocked(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Spawn("p", func(p *Proc) { p.Sleep(Second) })
+	// Unblock while the process is sleeping must not wake it early.
+	e.Schedule(Millisecond, func() { p.Unblock() })
+	var woke Time
+	e.Spawn("obs", func(q *Proc) {
+		for !p.Done() {
+			q.Sleep(Millisecond)
+		}
+		woke = q.Now()
+	})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if woke < TimeFromSeconds(1) {
+		t.Errorf("process finished at %v, should not wake before 1s", woke)
+	}
+}
+
+func TestYieldRunsPeersFirst(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("first", func(p *Proc) {
+		order = append(order, "first-before")
+		p.Yield()
+		order = append(order, "first-after")
+	})
+	e.Spawn("second", func(p *Proc) {
+		order = append(order, "second")
+	})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first-before", "second", "first-after"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("blocked", func(p *Proc) { p.Block("forever") })
+	e.Spawn("sleeping", func(p *Proc) { p.Sleep(100 * Second) })
+	if _, err := e.Run(TimeFromSeconds(1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if len(e.procs) != 0 {
+		t.Errorf("procs remaining after Shutdown: %d", len(e.procs))
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("boom", func(p *Proc) { panic("model bug") })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected model panic to propagate")
+		}
+	}()
+	e.Run(Forever)
+}
+
+func TestDeadlockReportNamesReason(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("rank3", func(p *Proc) { p.Block("Recv(src=5, tag=9)") })
+	_, err := e.Run(Forever)
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"rank3", "Recv(src=5, tag=9)"} {
+		if !contains(msg, frag) {
+			t.Errorf("deadlock message %q missing %q", msg, frag)
+		}
+	}
+	e.Shutdown()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

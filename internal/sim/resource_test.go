@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestSerializerFIFO(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSerializer(e, "link")
+	var starts, ends []Time
+	for i := 0; i < 3; i++ {
+		s.Enqueue(10*Millisecond, func(start, end Time) {
+			starts = append(starts, start)
+			ends = append(ends, end)
+		})
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		wantStart := Time(Duration(i) * 10 * Millisecond)
+		if starts[i] != wantStart {
+			t.Errorf("request %d started at %v, want %v", i, starts[i], wantStart)
+		}
+		if ends[i] != wantStart.Add(10*Millisecond) {
+			t.Errorf("request %d ended at %v", i, ends[i])
+		}
+	}
+}
+
+func TestSerializerIdleGap(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSerializer(e, "link")
+	var secondStart Time
+	s.Enqueue(Millisecond, nil)
+	e.Schedule(10*Millisecond, func() {
+		s.Enqueue(Millisecond, func(start, _ Time) { secondStart = start })
+	})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	// The server was idle, so the second request starts immediately.
+	if secondStart != TimeFromSeconds(0.010) {
+		t.Errorf("second start = %v, want 10ms", secondStart)
+	}
+}
+
+func TestSerializerReturnValueMatchesCallback(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSerializer(e, "link")
+	var cbEnd Time
+	predicted := s.Enqueue(7*Millisecond, func(_, end Time) { cbEnd = end })
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if predicted != cbEnd {
+		t.Errorf("predicted end %v != callback end %v", predicted, cbEnd)
+	}
+}
+
+func TestSerializerBacklog(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSerializer(e, "link")
+	if s.Backlog() != 0 {
+		t.Error("idle server should have zero backlog")
+	}
+	s.Enqueue(5*Millisecond, nil)
+	s.Enqueue(5*Millisecond, nil)
+	if s.Backlog() != 10*Millisecond {
+		t.Errorf("backlog = %v, want 10ms", s.Backlog())
+	}
+	if s.InFlight() != 2 {
+		t.Errorf("in flight = %d, want 2", s.InFlight())
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backlog() != 0 || s.InFlight() != 0 {
+		t.Error("server should drain completely")
+	}
+	if s.Served() != 2 {
+		t.Errorf("served = %d, want 2", s.Served())
+	}
+	if s.BusyTime() != 10*Millisecond {
+		t.Errorf("busy time = %v, want 10ms", s.BusyTime())
+	}
+}
+
+func TestSerializerNegativeServicePanics(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSerializer(e, "link")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative service time")
+		}
+	}()
+	s.Enqueue(-1, nil)
+}

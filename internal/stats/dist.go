@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler produces random draws from a distribution of operation times.
+// PEVPM's match phase calls Sample once per simulated message.
+type Sampler interface {
+	Sample(r Rand) float64
+	// Mean returns the expected value of the distribution.
+	Mean() float64
+	// MinBound returns the lower bound of the support — the paper's
+	// contention-free minimum time.
+	MinBound() float64
+}
+
+// Dist extends Sampler with an analytic CDF, which goodness-of-fit tests
+// (KS distance) require.
+type Dist interface {
+	Sampler
+	CDF(x float64) float64
+}
+
+// Constant always returns the same value; PEVPM's "average" and
+// "minimum" prediction modes are Constant samplers.
+type Constant float64
+
+// Sample returns the constant.
+func (c Constant) Sample(Rand) float64 { return float64(c) }
+
+// Mean returns the constant.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// MinBound returns the constant.
+func (c Constant) MinBound() float64 { return float64(c) }
+
+// CDF is a step at the constant.
+func (c Constant) CDF(x float64) float64 {
+	if x < float64(c) {
+		return 0
+	}
+	return 1
+}
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample draws from the interval.
+func (u Uniform) Sample(r Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Mean returns the midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// MinBound returns the lower edge.
+func (u Uniform) MinBound() float64 { return u.Lo }
+
+// CDF of the uniform distribution.
+func (u Uniform) CDF(x float64) float64 {
+	if x <= u.Lo {
+		return 0
+	}
+	if x >= u.Hi {
+		return 1
+	}
+	return (x - u.Lo) / (u.Hi - u.Lo)
+}
+
+// ShiftedLogNormal is Shift + LogNormal(Mu, Sigma): a bounded minimum
+// with a smooth rise, a peak and a quickly decaying tail — the shape
+// MPIBench observes for message-passing times under contention.
+type ShiftedLogNormal struct {
+	Shift, Mu, Sigma float64
+}
+
+// Sample draws from the distribution.
+func (d ShiftedLogNormal) Sample(r Rand) float64 {
+	return d.Shift + math.Exp(d.Mu+d.Sigma*r.NormFloat64())
+}
+
+// Mean returns Shift + exp(Mu + Sigma^2/2).
+func (d ShiftedLogNormal) Mean() float64 {
+	return d.Shift + math.Exp(d.Mu+d.Sigma*d.Sigma/2)
+}
+
+// MinBound returns the shift.
+func (d ShiftedLogNormal) MinBound() float64 { return d.Shift }
+
+// CDF of the shifted lognormal.
+func (d ShiftedLogNormal) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x-d.Shift)-d.Mu)/(d.Sigma*math.Sqrt2)))
+}
+
+// ShiftedExp is Shift + Exponential(mean Scale): the memoryless tail
+// model, a reasonable fit for queueing-dominated delays.
+type ShiftedExp struct {
+	Shift, Scale float64
+}
+
+// Sample draws from the distribution.
+func (d ShiftedExp) Sample(r Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Shift - d.Scale*math.Log(u)
+}
+
+// Mean returns Shift + Scale.
+func (d ShiftedExp) Mean() float64 { return d.Shift + d.Scale }
+
+// MinBound returns the shift.
+func (d ShiftedExp) MinBound() float64 { return d.Shift }
+
+// CDF of the shifted exponential.
+func (d ShiftedExp) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	return 1 - math.Exp(-(x-d.Shift)/d.Scale)
+}
+
+// Weibull is Shift + Weibull(Shape k, Scale λ). With k>1 it has the
+// rise-peak-decay shape; with k=1 it degenerates to the exponential.
+type Weibull struct {
+	Shift, Shape, Scale float64
+}
+
+// Sample draws by inverting the CDF.
+func (d Weibull) Sample(r Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Shift + d.Scale*math.Pow(-math.Log(u), 1/d.Shape)
+}
+
+// Mean returns Shift + Scale·Γ(1 + 1/Shape).
+func (d Weibull) Mean() float64 {
+	return d.Shift + d.Scale*math.Gamma(1+1/d.Shape)
+}
+
+// MinBound returns the shift.
+func (d Weibull) MinBound() float64 { return d.Shift }
+
+// CDF of the shifted Weibull.
+func (d Weibull) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow((x-d.Shift)/d.Scale, d.Shape))
+}
+
+// Mixture draws from one of several components with fixed weights. Its
+// main use is modelling retransmission-timeout outliers: a body
+// distribution with weight ~0.999 plus a far-out RTO spike.
+type Mixture struct {
+	Components []Sampler
+	Weights    []float64 // need not be normalised
+}
+
+// NewMixture validates and returns a mixture.
+func NewMixture(components []Sampler, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, fmt.Errorf("stats: mixture needs matching non-empty components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: invalid mixture weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: mixture weights sum to %v", total)
+	}
+	return &Mixture{Components: components, Weights: weights}, nil
+}
+
+func (m *Mixture) totalWeight() float64 {
+	t := 0.0
+	for _, w := range m.Weights {
+		t += w
+	}
+	return t
+}
+
+// Sample picks a component by weight, then draws from it.
+func (m *Mixture) Sample(r Rand) float64 {
+	target := r.Float64() * m.totalWeight()
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if target < acc {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean returns the weighted mean of the component means.
+func (m *Mixture) Mean() float64 {
+	total := m.totalWeight()
+	mean := 0.0
+	for i, w := range m.Weights {
+		mean += w / total * m.Components[i].Mean()
+	}
+	return mean
+}
+
+// MinBound returns the smallest component bound.
+func (m *Mixture) MinBound() float64 {
+	min := math.Inf(1)
+	for _, c := range m.Components {
+		if b := c.MinBound(); b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// CDF is the weighted sum of component CDFs; it panics if any component
+// does not implement Dist.
+func (m *Mixture) CDF(x float64) float64 {
+	total := m.totalWeight()
+	cdf := 0.0
+	for i, w := range m.Weights {
+		cdf += w / total * m.Components[i].(Dist).CDF(x)
+	}
+	return cdf
+}
+
+// Scaled wraps a sampler, multiplying every draw by Factor. PEVPM uses it
+// to extrapolate a measured distribution to a nearby message size or
+// contention level when no exact benchmark point exists.
+type Scaled struct {
+	Base   Sampler
+	Factor float64
+}
+
+// Sample draws from the base and scales it.
+func (s Scaled) Sample(r Rand) float64 { return s.Factor * s.Base.Sample(r) }
+
+// Mean returns the scaled mean.
+func (s Scaled) Mean() float64 { return s.Factor * s.Base.Mean() }
+
+// MinBound returns the scaled bound.
+func (s Scaled) MinBound() float64 { return s.Factor * s.Base.MinBound() }

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleMean(s Sampler, r Rand, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += s.Sample(r)
+	}
+	return total / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(42)
+	r := newXorRand(1)
+	if c.Sample(r) != 42 || c.Mean() != 42 || c.MinBound() != 42 {
+		t.Error("constant sampler broken")
+	}
+	if c.CDF(41.9) != 0 || c.CDF(42) != 1 {
+		t.Error("constant CDF broken")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	r := newXorRand(2)
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(r)
+		if v < 2 || v >= 6 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+	}
+	if u.Mean() != 4 {
+		t.Errorf("Mean = %v", u.Mean())
+	}
+	if got := sampleMean(u, r, 50000); math.Abs(got-4) > 0.05 {
+		t.Errorf("sample mean = %v", got)
+	}
+	if u.CDF(2) != 0 || u.CDF(6) != 1 || u.CDF(4) != 0.5 {
+		t.Error("uniform CDF broken")
+	}
+}
+
+func TestShiftedLogNormal(t *testing.T) {
+	d := ShiftedLogNormal{Shift: 1e-4, Mu: math.Log(5e-4), Sigma: 0.5}
+	r := newXorRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(r); v <= d.Shift {
+			t.Fatalf("sample %v at or below shift", v)
+		}
+	}
+	if got := sampleMean(d, r, 200000); !almostEqual(got, d.Mean(), 0.02) {
+		t.Errorf("sample mean %v vs analytic %v", got, d.Mean())
+	}
+	// CDF sanity: median of lognormal part at shift+exp(mu).
+	if got := d.CDF(d.Shift + 5e-4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CDF at median = %v", got)
+	}
+	if d.CDF(d.Shift) != 0 {
+		t.Error("CDF at shift should be 0")
+	}
+}
+
+func TestShiftedExp(t *testing.T) {
+	d := ShiftedExp{Shift: 2, Scale: 3}
+	r := newXorRand(4)
+	if got := sampleMean(d, r, 200000); !almostEqual(got, 5, 0.02) {
+		t.Errorf("sample mean %v, want 5", got)
+	}
+	if got := d.CDF(2 + 3*math.Ln2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CDF at median = %v", got)
+	}
+}
+
+func TestWeibull(t *testing.T) {
+	d := Weibull{Shift: 1, Shape: 2, Scale: 4}
+	r := newXorRand(5)
+	if got := sampleMean(d, r, 200000); !almostEqual(got, d.Mean(), 0.02) {
+		t.Errorf("sample mean %v vs analytic %v", got, d.Mean())
+	}
+	// At x = shift+scale, CDF = 1 - 1/e regardless of shape.
+	if got := d.CDF(5); math.Abs(got-(1-1/math.E)) > 1e-9 {
+		t.Errorf("CDF at scale point = %v", got)
+	}
+	// Shape 1 degenerates to exponential.
+	w1 := Weibull{Shift: 0, Shape: 1, Scale: 2}
+	e1 := ShiftedExp{Shift: 0, Scale: 2}
+	for x := 0.5; x < 10; x += 0.5 {
+		if math.Abs(w1.CDF(x)-e1.CDF(x)) > 1e-12 {
+			t.Fatalf("Weibull(k=1) != Exp at %v", x)
+		}
+	}
+}
+
+func TestMixtureRTOOutliers(t *testing.T) {
+	body := ShiftedLogNormal{Shift: 100e-6, Mu: math.Log(50e-6), Sigma: 0.4}
+	rto := Uniform{Lo: 0.2, Hi: 0.21} // 200ms retransmission timeout spike
+	m, err := NewMixture([]Sampler{body, rto}, []float64{0.999, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newXorRand(6)
+	n := 200000
+	outliers := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(r) > 0.1 {
+			outliers++
+		}
+	}
+	frac := float64(outliers) / float64(n)
+	if math.Abs(frac-0.001) > 0.0005 {
+		t.Errorf("outlier fraction = %v, want ~0.001", frac)
+	}
+	// Mixture mean is dominated by the rare but huge RTO component.
+	wantMean := 0.999*body.Mean() + 0.001*rto.Mean()
+	if !almostEqual(m.Mean(), wantMean, 1e-9) {
+		t.Errorf("Mean = %v, want %v", m.Mean(), wantMean)
+	}
+	if m.MinBound() != body.MinBound() {
+		t.Errorf("MinBound = %v", m.MinBound())
+	}
+	if got := m.CDF(0.1); math.Abs(got-0.999) > 1e-6 {
+		t.Errorf("CDF(0.1) = %v", got)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture should fail")
+	}
+	if _, err := NewMixture([]Sampler{Constant(1)}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := NewMixture([]Sampler{Constant(1)}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewMixture([]Sampler{Constant(1)}, []float64{0}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Base: Constant(10), Factor: 1.5}
+	r := newXorRand(7)
+	if s.Sample(r) != 15 || s.Mean() != 15 || s.MinBound() != 15 {
+		t.Error("scaled sampler broken")
+	}
+}
+
+func TestSamplerInterfaces(t *testing.T) {
+	// Every distribution with an analytic CDF must satisfy Dist.
+	for _, d := range []Dist{
+		Constant(1),
+		Uniform{0, 1},
+		ShiftedLogNormal{0, 0, 1},
+		ShiftedExp{0, 1},
+		Weibull{0, 2, 1},
+	} {
+		prev := -0.1
+		for x := -1.0; x < 10; x += 0.25 {
+			c := d.CDF(x)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				t.Fatalf("%T: CDF not monotone in [0,1] at %v", d, x)
+			}
+			prev = c
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// The paper (§2) notes that MPIBench's histograms can be modelled by
+// "parametrised functions ... based on fits to the histograms using
+// standard functions". This file implements those fits and the
+// goodness-of-fit measure used to pick between them.
+
+// ErrTooFewSamples is returned when a histogram has too little data to fit.
+var ErrTooFewSamples = errors.New("stats: too few samples to fit")
+
+// fitShift places the support bound slightly below the observed minimum,
+// since the true contention-free bound is at or below the smallest sample.
+func fitShift(h *Histogram) float64 {
+	shift := h.Min() - 0.02*(h.Mean()-h.Min())
+	if shift < 0 {
+		shift = 0
+	}
+	return shift
+}
+
+// FitShiftedLogNormal fits by method of moments above an automatically
+// chosen shift.
+func FitShiftedLogNormal(h *Histogram) (ShiftedLogNormal, error) {
+	if h.Count() < 10 {
+		return ShiftedLogNormal{}, ErrTooFewSamples
+	}
+	shift := fitShift(h)
+	m := h.Mean() - shift
+	v := h.Std() * h.Std()
+	if m <= 0 || v <= 0 {
+		return ShiftedLogNormal{}, errors.New("stats: degenerate histogram for lognormal fit")
+	}
+	sigma2 := math.Log(1 + v/(m*m))
+	return ShiftedLogNormal{
+		Shift: shift,
+		Mu:    math.Log(m) - sigma2/2,
+		Sigma: math.Sqrt(sigma2),
+	}, nil
+}
+
+// FitShiftedExp fits by matching the mean above the shift.
+func FitShiftedExp(h *Histogram) (ShiftedExp, error) {
+	if h.Count() < 10 {
+		return ShiftedExp{}, ErrTooFewSamples
+	}
+	shift := fitShift(h)
+	scale := h.Mean() - shift
+	if scale <= 0 {
+		return ShiftedExp{}, errors.New("stats: degenerate histogram for exponential fit")
+	}
+	return ShiftedExp{Shift: shift, Scale: scale}, nil
+}
+
+// FitWeibull fits shape and scale by linear regression of
+// ln(-ln(1-F)) against ln(x-shift) over the empirical CDF at bin edges.
+func FitWeibull(h *Histogram) (Weibull, error) {
+	if h.Count() < 10 {
+		return Weibull{}, ErrTooFewSamples
+	}
+	shift := fitShift(h)
+	var xs, ys []float64
+	var cum uint64
+	n := float64(h.Count())
+	for _, b := range h.Bins() {
+		cum += b.Count
+		f := float64(cum) / n
+		if f <= 0 || f >= 1 {
+			continue
+		}
+		x := b.Hi - shift
+		if x <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(x))
+		ys = append(ys, math.Log(-math.Log(1-f)))
+	}
+	if len(xs) < 2 {
+		return Weibull{}, errors.New("stats: too few distinct bins for Weibull fit")
+	}
+	slope, intercept := linearRegression(xs, ys)
+	if slope <= 0 || math.IsNaN(slope) {
+		return Weibull{}, errors.New("stats: Weibull regression produced non-positive shape")
+	}
+	return Weibull{
+		Shift: shift,
+		Shape: slope,
+		Scale: math.Exp(-intercept / slope),
+	}, nil
+}
+
+// linearRegression returns the least-squares slope and intercept of y on x.
+func linearRegression(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between the
+// histogram's empirical CDF and the fitted distribution, evaluated at
+// every bin edge (where the empirical CDF jumps).
+func KSDistance(h *Histogram, d Dist) float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	var worst float64
+	var cum uint64
+	n := float64(h.Count())
+	for _, b := range h.Bins() {
+		// Before the bin's mass.
+		if diff := math.Abs(float64(cum)/n - d.CDF(b.Lo)); diff > worst {
+			worst = diff
+		}
+		cum += b.Count
+		// After the bin's mass.
+		if diff := math.Abs(float64(cum)/n - d.CDF(b.Hi)); diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}
+
+// Fit holds the outcome of fitting one family to a histogram.
+type Fit struct {
+	Name string
+	Dist Dist
+	KS   float64
+}
+
+// FitBest tries every parametric family and returns all successful fits
+// ordered best-first by KS distance. An empty slice means nothing fit.
+func FitBest(h *Histogram) []Fit {
+	var fits []Fit
+	if d, err := FitShiftedLogNormal(h); err == nil {
+		fits = append(fits, Fit{"shifted-lognormal", d, KSDistance(h, d)})
+	}
+	if d, err := FitShiftedExp(h); err == nil {
+		fits = append(fits, Fit{"shifted-exponential", d, KSDistance(h, d)})
+	}
+	if d, err := FitWeibull(h); err == nil {
+		fits = append(fits, Fit{"weibull", d, KSDistance(h, d)})
+	}
+	// Insertion sort: at most three entries.
+	for i := 1; i < len(fits); i++ {
+		for j := i; j > 0 && fits[j].KS < fits[j-1].KS; j-- {
+			fits[j], fits[j-1] = fits[j-1], fits[j]
+		}
+	}
+	return fits
+}

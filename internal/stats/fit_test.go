@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func histFrom(s Sampler, seed uint64, n int, width float64) *Histogram {
+	h := NewHistogram(width)
+	r := newXorRand(seed)
+	for i := 0; i < n; i++ {
+		h.Add(s.Sample(r))
+	}
+	return h
+}
+
+func TestFitShiftedLogNormalRecovers(t *testing.T) {
+	truth := ShiftedLogNormal{Shift: 100e-6, Mu: math.Log(80e-6), Sigma: 0.4}
+	h := histFrom(truth, 1, 50000, 2e-6)
+	fit, err := FitShiftedLogNormal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Mean(), truth.Mean(), 0.02) {
+		t.Errorf("fit mean %v vs truth %v", fit.Mean(), truth.Mean())
+	}
+	if ks := KSDistance(h, fit); ks > 0.08 {
+		t.Errorf("KS distance %v too large", ks)
+	}
+}
+
+func TestFitShiftedExpRecovers(t *testing.T) {
+	truth := ShiftedExp{Shift: 0.001, Scale: 0.002}
+	h := histFrom(truth, 2, 50000, 1e-4)
+	fit, err := FitShiftedExp(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Mean(), truth.Mean(), 0.02) {
+		t.Errorf("fit mean %v vs truth %v", fit.Mean(), truth.Mean())
+	}
+	if ks := KSDistance(h, fit); ks > 0.08 {
+		t.Errorf("KS distance %v", ks)
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	truth := Weibull{Shift: 0.0005, Shape: 2.2, Scale: 0.003}
+	h := histFrom(truth, 3, 50000, 1e-4)
+	fit, err := FitWeibull(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-truth.Shape) > 0.4 {
+		t.Errorf("fit shape %v vs truth %v", fit.Shape, truth.Shape)
+	}
+	if ks := KSDistance(h, fit); ks > 0.1 {
+		t.Errorf("KS distance %v", ks)
+	}
+}
+
+func TestFitBestPrefersRightFamily(t *testing.T) {
+	truth := ShiftedExp{Shift: 0.001, Scale: 0.004}
+	h := histFrom(truth, 4, 50000, 1e-4)
+	fits := FitBest(h)
+	if len(fits) == 0 {
+		t.Fatal("no fits")
+	}
+	// KS should be sorted ascending.
+	for i := 1; i < len(fits); i++ {
+		if fits[i].KS < fits[i-1].KS {
+			t.Error("fits not sorted by KS")
+		}
+	}
+	// The winning fit should be decent, and exponential (or Weibull with
+	// shape≈1, which is the same family) should be near the top.
+	if fits[0].KS > 0.05 {
+		t.Errorf("best fit KS = %v (%s)", fits[0].KS, fits[0].Name)
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(1)
+	if _, err := FitShiftedLogNormal(h); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitShiftedExp(h); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitWeibull(h); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKSDistanceSelfIsSmall(t *testing.T) {
+	// KS of a histogram against a perfect analytic match should be small;
+	// against a shifted copy it should be large.
+	d := Uniform{Lo: 0, Hi: 1}
+	h := histFrom(d, 5, 50000, 0.01)
+	if ks := KSDistance(h, d); ks > 0.03 {
+		t.Errorf("self KS = %v", ks)
+	}
+	far := Uniform{Lo: 5, Hi: 6}
+	if ks := KSDistance(h, far); ks < 0.9 {
+		t.Errorf("disjoint KS = %v, want ~1", ks)
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := linearRegression(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("slope=%v intercept=%v", slope, intercept)
+	}
+	// Degenerate: all x equal.
+	s, _ := linearRegression([]float64{2, 2}, []float64{1, 5})
+	if !math.IsNaN(s) {
+		t.Errorf("degenerate regression slope = %v, want NaN", s)
+	}
+}

@@ -1,0 +1,88 @@
+// Package stats provides the statistical machinery behind MPIBench and
+// PEVPM: streaming summaries, histograms of individual operation times
+// (the paper's probability distribution functions), empirical and
+// parametric samplers, distribution fitting and goodness-of-fit measures.
+//
+// The package is self-contained: random draws go through the small Rand
+// interface, satisfied by internal/sim.RNG, so stats has no dependency on
+// the simulation kernel.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is the source of randomness samplers draw from.
+type Rand interface {
+	Float64() float64     // uniform in [0,1)
+	NormFloat64() float64 // standard normal
+}
+
+// Summary accumulates streaming moments of a series using Welford's
+// algorithm, which is numerically stable for long runs.
+type Summary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"` // sum of squared deviations from the mean
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.N++
+	if s.N == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.N)
+	s.M2 += delta * (x - s.Mean)
+}
+
+// Merge combines another summary into this one (Chan et al. parallel
+// variance update), as if all its observations had been Added here.
+func (s *Summary) Merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.N + o.N)
+	delta := o.Mean - s.Mean
+	s.M2 += o.M2 + delta*delta*float64(s.N)*float64(o.N)/n
+	s.Mean += delta * float64(o.N) / n
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.N += o.N
+}
+
+// Var returns the population variance (zero for fewer than two samples).
+func (s *Summary) Var() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.M2 / float64(s.N)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// String formats the summary compactly for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g",
+		s.N, s.Mean, s.Std(), s.Min, s.Max)
+}

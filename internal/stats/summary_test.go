@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Std() != 2 {
+		t.Errorf("Std = %v", s.Std())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Var() != 0 || s.Std() != 0 {
+		t.Error("empty summary should have zero variance")
+	}
+	var o Summary
+	o.Add(3)
+	s.Merge(o)
+	if s.N != 1 || s.Mean != 3 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("merge into empty failed: %+v", s)
+	}
+	o.Merge(Summary{}) // merging empty is a no-op
+	if o.N != 1 {
+		t.Errorf("merge of empty changed N: %d", o.N)
+	}
+}
+
+// Property: merging two summaries equals summarising the concatenation.
+func TestSummaryMergeEquivalence(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(in []float64) []float64 {
+			var out []float64
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, all Summary
+		for _, v := range a {
+			sa.Add(v)
+			all.Add(v)
+		}
+		for _, v := range b {
+			sb.Add(v)
+			all.Add(v)
+		}
+		sa.Merge(sb)
+		if sa.N != all.N {
+			return false
+		}
+		if sa.N == 0 {
+			return true
+		}
+		return almostEqual(sa.Mean, all.Mean, 1e-9) &&
+			math.Abs(sa.M2-all.M2) <= 1e-6*(1+math.Abs(all.M2)) &&
+			sa.Min == all.Min && sa.Max == all.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	if got := s.String(); got == "" {
+		t.Error("String should be non-empty")
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavour), loadable in chrome://tracing and Perfetto. Virtual
+// ranks map to "threads"; durations use the complete-event phase "X".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the log in Chrome trace-event JSON. Compute
+// intervals, receive waits and collective brackets become duration
+// events; sends become instant events.
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	var out []chromeEvent
+	computeOpen := map[int]float64{}
+	recvOpen := map[int][]Event{}
+	collOpen := map[int][]Event{}
+	for _, ev := range l.Events() {
+		ts := ev.Time.Seconds() * 1e6
+		switch ev.Kind {
+		case ComputeStart:
+			computeOpen[ev.Rank] = ts
+		case ComputeEnd:
+			if t0, ok := computeOpen[ev.Rank]; ok {
+				out = append(out, chromeEvent{
+					Name: "compute", Phase: "X", TS: t0, Dur: ts - t0,
+					PID: 0, TID: ev.Rank,
+				})
+				delete(computeOpen, ev.Rank)
+			}
+		case RecvPost:
+			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev)
+		case RecvEnd:
+			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
+				t0 := stack[0].Time.Seconds() * 1e6
+				out = append(out, chromeEvent{
+					Name: "recv", Phase: "X", TS: t0, Dur: ts - t0,
+					PID: 0, TID: ev.Rank,
+					Args: map[string]any{"from": ev.Peer, "tag": ev.Tag, "bytes": ev.Size},
+				})
+				recvOpen[ev.Rank] = stack[1:]
+			}
+		case SendStart:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("send->%d", ev.Peer), Phase: "i", TS: ts,
+				PID: 0, TID: ev.Rank,
+				Args: map[string]any{"to": ev.Peer, "tag": ev.Tag, "bytes": ev.Size},
+			})
+		case CollectiveStart:
+			collOpen[ev.Rank] = append(collOpen[ev.Rank], ev)
+		case CollectiveEnd:
+			if stack := collOpen[ev.Rank]; len(stack) > 0 {
+				open := stack[len(stack)-1] // collectives nest (Allreduce wraps Reduce)
+				collOpen[ev.Rank] = stack[:len(stack)-1]
+				if open.Note != ev.Note {
+					continue // mismatched bracket: skip rather than lie
+				}
+				t0 := open.Time.Seconds() * 1e6
+				out = append(out, chromeEvent{
+					Name: ev.Note, Phase: "X", TS: t0, Dur: ts - t0,
+					PID: 0, TID: ev.Rank,
+					Args: map[string]any{"bytes": ev.Size},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

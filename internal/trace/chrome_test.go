@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	l := NewLog(0)
+	l.Record(Event{Time: 0, Rank: 0, Kind: ComputeStart, Peer: -1})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.001), Rank: 0, Kind: ComputeEnd, Peer: -1})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.001), Rank: 0, Kind: SendStart, Peer: 1, Tag: 2, Size: 64})
+	l.Record(Event{Time: 0, Rank: 1, Kind: RecvPost, Peer: 0, Tag: 2})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.0015), Rank: 1, Kind: RecvEnd, Peer: 0, Tag: 2, Size: 64})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.002), Rank: 0, Kind: CollectiveStart, Peer: -1, Note: "Barrier"})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.003), Rank: 0, Kind: CollectiveEnd, Peer: -1, Note: "Barrier"})
+
+	var b strings.Builder
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev["name"].(string)] = true
+		if ev["ph"] == "X" && ev["dur"].(float64) <= 0 {
+			t.Errorf("duration event with non-positive dur: %v", ev)
+		}
+	}
+	for _, want := range []string{"compute", "recv", "send->1", "Barrier"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing %q events (have %v)", want, names)
+		}
+	}
+	// The recv duration spans post to end: 1500 µs.
+	for _, ev := range events {
+		if ev["name"] == "recv" {
+			if dur := ev["dur"].(float64); dur < 1499 || dur > 1501 {
+				t.Errorf("recv dur = %v µs, want 1500", dur)
+			}
+		}
+	}
+}
+
+func TestChromeTraceNestedCollectives(t *testing.T) {
+	l := NewLog(0)
+	// Allreduce wraps Reduce: brackets nest and must pair innermost-first.
+	l.Record(Event{Time: 0, Rank: 0, Kind: CollectiveStart, Note: "Allreduce"})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.0001), Rank: 0, Kind: CollectiveStart, Note: "Reduce"})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.0005), Rank: 0, Kind: CollectiveEnd, Note: "Reduce"})
+	l.Record(Event{Time: sim.TimeFromSeconds(0.001), Rank: 0, Kind: CollectiveEnd, Note: "Allreduce"})
+	var b strings.Builder
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Reduce") || !strings.Contains(out, "Allreduce") {
+		t.Errorf("nested collectives lost: %s", out)
+	}
+}

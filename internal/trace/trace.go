@@ -1,0 +1,242 @@
+// Package trace records per-rank timelines of simulated MPI executions:
+// when each rank computed, sent, received and waited. MPIBench measures
+// one operation in isolation; a trace shows a whole program's
+// time-structure, which is what PEVPM predicts — comparing the two is
+// how mispredictions get localised.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	SendStart Kind = iota // rank began a send operation
+	SendEnd               // send locally complete (eager) or delivered (rendezvous)
+	RecvPost              // receive posted
+	RecvEnd               // receive completed (payload picked up)
+	ComputeStart
+	ComputeEnd
+	CollectiveStart
+	CollectiveEnd
+)
+
+var kindNames = map[Kind]string{
+	SendStart: "send-start", SendEnd: "send-end",
+	RecvPost: "recv-post", RecvEnd: "recv-end",
+	ComputeStart: "compute-start", ComputeEnd: "compute-end",
+	CollectiveStart: "coll-start", CollectiveEnd: "coll-end",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Time sim.Time
+	Rank int
+	Kind Kind
+	Peer int // other rank for point-to-point; -1 otherwise
+	Tag  int
+	Size int
+	Note string // collective name, etc.
+}
+
+// Log collects events from one run. It is not safe for concurrent use;
+// the simulation kernel is single-threaded, so that is not a
+// restriction in practice.
+type Log struct {
+	events []Event
+	limit  int
+}
+
+// NewLog returns a log that keeps at most limit events (0 = unlimited).
+// The limit guards long benchmark runs against unbounded memory.
+func NewLog(limit int) *Log { return &Log{limit: limit} }
+
+// Record appends an event unless the log has reached its limit.
+func (l *Log) Record(ev Event) {
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the recorded events in time order (stable for equal
+// timestamps).
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// RankSummary aggregates one rank's activity.
+type RankSummary struct {
+	Rank         int
+	Sends, Recvs int
+	BytesSent    int
+	Compute      sim.Duration
+	RecvWait     sim.Duration // time between recv-post and recv-end
+	Finish       sim.Time
+}
+
+// Summaries aggregates the log per rank.
+func (l *Log) Summaries() []RankSummary {
+	byRank := map[int]*RankSummary{}
+	get := func(r int) *RankSummary {
+		s, ok := byRank[r]
+		if !ok {
+			s = &RankSummary{Rank: r}
+			byRank[r] = s
+		}
+		return s
+	}
+	// Track open intervals per rank.
+	computeOpen := map[int]sim.Time{}
+	recvOpen := map[int][]sim.Time{} // stack of posted-but-unfinished receives
+	for _, ev := range l.Events() {
+		s := get(ev.Rank)
+		if ev.Time > s.Finish {
+			s.Finish = ev.Time
+		}
+		switch ev.Kind {
+		case SendStart:
+			s.Sends++
+			s.BytesSent += ev.Size
+		case RecvPost:
+			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev.Time)
+		case RecvEnd:
+			s.Recvs++
+			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
+				// FIFO pairing approximates per-request matching.
+				s.RecvWait += ev.Time.Sub(stack[0])
+				recvOpen[ev.Rank] = stack[1:]
+			}
+		case ComputeStart:
+			computeOpen[ev.Rank] = ev.Time
+		case ComputeEnd:
+			if t0, ok := computeOpen[ev.Rank]; ok {
+				s.Compute += ev.Time.Sub(t0)
+				delete(computeOpen, ev.Rank)
+			}
+		}
+	}
+	out := make([]RankSummary, 0, len(byRank))
+	for _, s := range byRank {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// WriteText dumps the raw timeline, one line per event.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, ev := range l.Events() {
+		var detail string
+		switch ev.Kind {
+		case SendStart, SendEnd:
+			detail = fmt.Sprintf("to=%d tag=%d size=%d", ev.Peer, ev.Tag, ev.Size)
+		case RecvPost, RecvEnd:
+			detail = fmt.Sprintf("from=%d tag=%d size=%d", ev.Peer, ev.Tag, ev.Size)
+		case CollectiveStart, CollectiveEnd:
+			detail = ev.Note
+		}
+		if _, err := fmt.Fprintf(w, "%14v rank%-4d %-13s %s\n", ev.Time, ev.Rank, ev.Kind, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders an ASCII utilisation chart: one row per rank, the run
+// divided into cols buckets, each cell showing the rank's dominant
+// activity in that bucket (C compute, s send, r receive-wait, idle '.').
+func (l *Log) Gantt(cols int) string {
+	events := l.Events()
+	if len(events) == 0 || cols <= 0 {
+		return ""
+	}
+	end := events[len(events)-1].Time
+	if end == 0 {
+		return ""
+	}
+	ranks := map[int]bool{}
+	for _, ev := range events {
+		ranks[ev.Rank] = true
+	}
+	var rankIDs []int
+	for r := range ranks {
+		rankIDs = append(rankIDs, r)
+	}
+	sort.Ints(rankIDs)
+
+	bucketOf := func(t sim.Time) int {
+		b := int(int64(t) * int64(cols) / int64(end))
+		if b >= cols {
+			b = cols - 1
+		}
+		return b
+	}
+	// Fill per-rank rows: mark intervals.
+	rows := map[int][]byte{}
+	for _, r := range rankIDs {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[r] = row
+	}
+	mark := func(rank int, from, to sim.Time, ch byte) {
+		row := rows[rank]
+		for b := bucketOf(from); b <= bucketOf(to); b++ {
+			// Compute beats wait beats idle when buckets straddle.
+			if row[b] == '.' || ch == 'C' {
+				row[b] = ch
+			}
+		}
+	}
+	computeOpen := map[int]sim.Time{}
+	recvOpen := map[int][]sim.Time{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case ComputeStart:
+			computeOpen[ev.Rank] = ev.Time
+		case ComputeEnd:
+			if t0, ok := computeOpen[ev.Rank]; ok {
+				mark(ev.Rank, t0, ev.Time, 'C')
+				delete(computeOpen, ev.Rank)
+			}
+		case RecvPost:
+			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev.Time)
+		case RecvEnd:
+			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
+				mark(ev.Rank, stack[0], ev.Time, 'r')
+				recvOpen[ev.Rank] = stack[1:]
+			}
+		case SendStart:
+			mark(ev.Rank, ev.Time, ev.Time, 's')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "0%s%v\n", strings.Repeat(" ", cols-len(end.String())), end)
+	for _, r := range rankIDs {
+		fmt.Fprintf(&b, "rank%-4d %s\n", r, rows[r])
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pevpm"
+)
+
+// Jacobi is the paper's §6 case study: a 1-D decomposed Jacobi Iteration
+// over an XSize×XSize grid. Each iteration exchanges grid edges
+// (XSize·sizeof(float) bytes) with both neighbours in the even/odd phase
+// order of Figure 5, then computes the stencil sweep.
+type Jacobi struct {
+	XSize        int     // grid edge length (the paper uses 256)
+	Iterations   int     // iteration count (the paper uses 1000)
+	SweepSeconds float64 // full-grid sweep time on one CPU (paper: 3.24 s)
+}
+
+// DefaultJacobi returns the paper's exact configuration.
+func DefaultJacobi() Jacobi {
+	return Jacobi{
+		XSize:        256,
+		Iterations:   cluster.JacobiIterations,
+		SweepSeconds: cluster.JacobiSweepSeconds,
+	}
+}
+
+// EdgeBytes is the size of one edge-exchange message.
+func (j Jacobi) EdgeBytes() int { return j.XSize * 4 }
+
+// SerialTime returns the one-processor execution time (the speedup
+// baseline): communication-free iteration sweeps.
+func (j Jacobi) SerialTime() float64 {
+	return float64(j.Iterations) * j.SweepSeconds
+}
+
+const tagJacobi = 1
+
+// Run executes the Jacobi program on one rank, mirroring the Figure 5
+// skeleton: even ranks send before receiving, odd ranks receive before
+// sending, then everyone computes its share of the sweep.
+func (j Jacobi) Run(c *mpi.Comm) {
+	rank, procs := c.Rank(), c.Size()
+	edge := j.EdgeBytes()
+	for i := 0; i < j.Iterations; i++ {
+		if rank%2 == 0 {
+			if rank != 0 {
+				c.Send(rank-1, tagJacobi, edge)
+			}
+			if rank != procs-1 {
+				c.Send(rank+1, tagJacobi, edge)
+				c.Recv(rank+1, tagJacobi)
+			}
+			if rank != 0 {
+				c.Recv(rank-1, tagJacobi)
+			}
+		} else {
+			if rank != procs-1 {
+				c.Recv(rank+1, tagJacobi)
+			}
+			c.Recv(rank-1, tagJacobi)
+			c.Send(rank-1, tagJacobi, edge)
+			if rank != procs-1 {
+				c.Send(rank+1, tagJacobi, edge)
+			}
+		}
+		c.Compute(j.SweepSeconds / float64(procs))
+	}
+}
+
+// PVM renders the PEVPM directive model for this configuration — the
+// paper's Figure 5 annotations in standalone form. (One deviation: the
+// even branch's downward exchange is guarded by procnum != numprocs-1 so
+// the model is also valid for odd process counts; with the paper's even
+// process counts the guard is always true.)
+func (j Jacobi) PVM() string {
+	return fmt.Sprintf(`# Jacobi Iteration — the paper's Figure 5 model.
+PEVPM Param xsize = %d
+PEVPM Param iterations = %d
+PEVPM Param sweep = %g
+
+PEVPM Loop iterations = iterations
+PEVPM {
+PEVPM   Runon c1 = procnum%%2 == 0
+PEVPM   &     c2 = procnum%%2 != 0
+PEVPM   {
+PEVPM     Runon c1 = procnum != 0
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum-1
+PEVPM     }
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum+1
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum+1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM     Runon c1 = procnum != 0
+PEVPM     {
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum-1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM   }
+PEVPM   {
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Recv
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum+1
+PEVPM       &       to = procnum
+PEVPM     }
+PEVPM     Message type = MPI_Recv
+PEVPM     &       size = xsize*sizeof(float)
+PEVPM     &       from = procnum-1
+PEVPM     &       to = procnum
+PEVPM     Message type = MPI_Send
+PEVPM     &       size = xsize*sizeof(float)
+PEVPM     &       from = procnum
+PEVPM     &       to = procnum-1
+PEVPM     Runon c1 = procnum != numprocs-1
+PEVPM     {
+PEVPM       Message type = MPI_Send
+PEVPM       &       size = xsize*sizeof(float)
+PEVPM       &       from = procnum
+PEVPM       &       to = procnum+1
+PEVPM     }
+PEVPM   }
+PEVPM   Serial on perseus time = sweep/numprocs
+PEVPM }
+`, j.XSize, j.Iterations, j.SweepSeconds)
+}
+
+// Model parses the directive model.
+func (j Jacobi) Model() (*pevpm.Program, error) {
+	return pevpm.Parse(j.PVM())
+}

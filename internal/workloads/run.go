@@ -1,0 +1,48 @@
+// Package workloads provides the parallel applications the paper
+// evaluates PEVPM with, each in two forms that must agree:
+//
+//   - an executable version that really runs on the simulated cluster
+//     through internal/mpi (the paper's "measured" lines), and
+//   - a PEVPM model built from performance directives (the paper's
+//     "predicted" lines).
+//
+// Jacobi Iteration is the paper's §6 case study (regular-local
+// communication); the FFT-style butterfly exchange and the bag-of-tasks
+// farm are the other two communication classes the paper names
+// (regular-global and irregular).
+package workloads
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ExecResult is the outcome of executing a workload on the simulated
+// cluster.
+type ExecResult struct {
+	Makespan    sim.Time   // time the last rank finished
+	FinishTimes []sim.Time // per-rank completion
+	Net         netsim.Counters
+}
+
+// Execute runs program on a fresh simulated cluster with the given
+// placement and returns the measured execution times. This is the
+// "actually executing the code on Perseus" side of Figure 6.
+func Execute(cfg cluster.Config, pl cluster.Placement, seed uint64, program func(c *mpi.Comm)) (ExecResult, error) {
+	e := sim.NewEngine(seed)
+	net := netsim.New(e, cfg)
+	w := mpi.NewWorld(e, net, pl)
+	w.Launch(program)
+	end, err := w.Wait()
+	if err != nil {
+		w.Shutdown()
+		return ExecResult{}, err
+	}
+	return ExecResult{
+		Makespan:    end,
+		FinishTimes: w.FinishTimes(),
+		Net:         net.Stats(),
+	}, nil
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/pevpm"
+)
+
+// TaskFarm is the irregular workload: a master (rank 0) hands Tasks
+// independent work units to whichever worker returns a result first
+// (MPI_ANY_SOURCE), so the communication schedule is decided at run
+// time. The PEVPM model approximates the dynamic schedule with the
+// round-robin one, which for near-homogeneous task times is what the
+// dynamic farm converges to.
+type TaskFarm struct {
+	Tasks       int     // total work units
+	TaskSeconds float64 // nominal compute time per task
+	TaskBytes   int     // master→worker task description size
+	ResultBytes int     // worker→master result size
+}
+
+// DefaultTaskFarm returns a farm whose tasks take a few communication
+// times each, so both farm-out cost and compute matter.
+func DefaultTaskFarm() TaskFarm {
+	return TaskFarm{
+		Tasks:       256,
+		TaskSeconds: 20e-3,
+		TaskBytes:   512,
+		ResultBytes: 2048,
+	}
+}
+
+// SerialTime is the one-processor baseline.
+func (tf TaskFarm) SerialTime() float64 {
+	return float64(tf.Tasks) * tf.TaskSeconds
+}
+
+// Task and control tags.
+const (
+	tagTask = iota + 3
+	tagResult
+	tagStop
+)
+
+// Run executes the farm on one rank. Rank 0 is the master and performs
+// no computation; ranks 1..P-1 are workers.
+func (tf TaskFarm) Run(c *mpi.Comm) {
+	if c.Size() < 2 {
+		// Degenerate single-process case: just compute everything.
+		for i := 0; i < tf.Tasks; i++ {
+			c.Compute(tf.TaskSeconds)
+		}
+		return
+	}
+	if c.Rank() == 0 {
+		tf.master(c)
+	} else {
+		tf.worker(c)
+	}
+}
+
+func (tf TaskFarm) master(c *mpi.Comm) {
+	workers := c.Size() - 1
+	next := 0
+	// Initial wave: one task per worker (or an immediate stop).
+	for w := 1; w <= workers; w++ {
+		if next < tf.Tasks {
+			c.Send(w, tagTask, tf.TaskBytes)
+			next++
+		} else {
+			c.Send(w, tagStop, 0)
+		}
+	}
+	// Steady state: hand the next task to whoever finishes first; when
+	// the bag is empty, each returning worker is stopped.
+	for done := 0; done < tf.Tasks; done++ {
+		st := c.Recv(mpi.AnySource, tagResult)
+		if next < tf.Tasks {
+			c.Send(st.Source, tagTask, tf.TaskBytes)
+			next++
+		} else {
+			c.Send(st.Source, tagStop, 0)
+		}
+	}
+}
+
+func (tf TaskFarm) worker(c *mpi.Comm) {
+	for {
+		st := c.Recv(0, mpi.AnyTag)
+		if st.Tag == tagStop {
+			return
+		}
+		c.Compute(tf.TaskSeconds)
+		c.Send(0, tagResult, tf.ResultBytes)
+	}
+}
+
+// Model builds the PEVPM model for a farm of the given total size: the
+// static round-robin unrolling of the dynamic schedule. Worker w handles
+// tasks w-1, w-1+W, w-1+2W, …; the master receives results in the same
+// rotation it dealt tasks.
+func (tf TaskFarm) Model(procs int) *pevpm.Program {
+	prog := pevpm.NewProgram()
+	if procs < 2 {
+		prog.Body = pevpm.Block{&pevpm.Loop{
+			Count: pevpm.Num(float64(tf.Tasks)),
+			Body:  pevpm.Block{&pevpm.Serial{Time: pevpm.Num(tf.TaskSeconds)}},
+		}}
+		return prog
+	}
+	workers := procs - 1
+	workerOf := func(task int) int { return task%workers + 1 }
+
+	var master pevpm.Block
+	send := func(w, bytes int) pevpm.Node {
+		return &pevpm.Msg{Kind: pevpm.MsgSend, Size: pevpm.Num(float64(bytes)),
+			From: pevpm.Num(0), To: pevpm.Num(float64(w))}
+	}
+	recv := func(w int) pevpm.Node {
+		return &pevpm.Msg{Kind: pevpm.MsgRecv, Size: pevpm.Num(float64(tf.ResultBytes)),
+			From: pevpm.Num(float64(w)), To: pevpm.Num(0)}
+	}
+	// Initial wave.
+	for w := 1; w <= workers; w++ {
+		if w-1 < tf.Tasks {
+			master = append(master, send(w, tf.TaskBytes))
+		} else {
+			master = append(master, send(w, 0)) // stop
+		}
+	}
+	// Steady state: one recv + refill per remaining task, then drain.
+	for task := 0; task < tf.Tasks; task++ {
+		master = append(master, recv(workerOf(task)))
+		if refill := task + workers; refill < tf.Tasks {
+			master = append(master, send(workerOf(refill), tf.TaskBytes))
+		} else {
+			master = append(master, send(workerOf(task), 0)) // stop
+		}
+	}
+
+	// Worker bodies: each worker's personal task count.
+	conds := []pevpm.Expr{pevpm.MustExpr("procnum == 0")}
+	bodies := []pevpm.Block{master}
+	for w := 1; w <= workers; w++ {
+		count := 0
+		for task := 0; task < tf.Tasks; task++ {
+			if workerOf(task) == w {
+				count++
+			}
+		}
+		var body pevpm.Block
+		body = append(body, &pevpm.Loop{
+			Count: pevpm.Num(float64(count)),
+			Body: pevpm.Block{
+				&pevpm.Msg{Kind: pevpm.MsgRecv, Size: pevpm.Num(float64(tf.TaskBytes)),
+					From: pevpm.Num(0), To: pevpm.Var("procnum")},
+				&pevpm.Serial{Time: pevpm.Num(tf.TaskSeconds)},
+				&pevpm.Msg{Kind: pevpm.MsgSend, Size: pevpm.Num(float64(tf.ResultBytes)),
+					From: pevpm.Var("procnum"), To: pevpm.Num(0)},
+			},
+		})
+		// Final stop message.
+		body = append(body, &pevpm.Msg{Kind: pevpm.MsgRecv, Size: pevpm.Num(0),
+			From: pevpm.Num(0), To: pevpm.Var("procnum")})
+		conds = append(conds, pevpm.MustExpr("procnum == "+itoa(w)))
+		bodies = append(bodies, body)
+	}
+	prog.Body = pevpm.Block{&pevpm.Runon{Conds: conds, Bodies: bodies}}
+	return prog
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
