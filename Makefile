@@ -1,0 +1,30 @@
+# Build and verification entry points. `make ci` is what the repository
+# considers a green build (see also ci.sh, the script CI invokes).
+
+GO ?= go
+
+.PHONY: all build vet test race lint ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repository's own static analyzer over the shipped models.
+lint:
+	$(GO) run ./cmd/mpilint examples/jacobi/jacobi.pvm
+
+ci:
+	./ci.sh
+
+clean:
+	$(GO) clean ./...

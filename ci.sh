@@ -1,0 +1,10 @@
+#!/bin/sh
+# The repository's CI gate: vet, build, the full test suite under the
+# race detector, and an mpilint smoke test over the shipped Jacobi
+# model (which must lint clean — zero findings, exit 0).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go run ./cmd/mpilint examples/jacobi/jacobi.pvm

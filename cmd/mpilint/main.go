@@ -1,0 +1,131 @@
+// Command mpilint statically checks PEVPM models (.pvm files) for
+// communication-correctness bugs: ranks addressed outside the job,
+// sends without receives, deadlock cycles among blocking operations,
+// unbound parameters, dead Runon branches and more.
+//
+// Usage:
+//
+//	mpilint [flags] model.pvm [model2.pvm ...]
+//	mpilint -procs 2,8,64 -json examples/jacobi/jacobi.pvm
+//
+// Each model is analyzed once per requested world size. Exit status is
+// 0 when no errors were found (warnings alone do not fail the run
+// unless -werror is set), 1 when any error-severity finding was
+// reported, and 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/mpilint"
+	"repro/internal/pevpm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procsArg := fs.String("procs", "8", "comma-separated world sizes to analyze at")
+	eager := fs.Int("eager", mpilint.DefaultEagerLimit,
+		"eager/rendezvous protocol switch in bytes")
+	unroll := fs.Int("unroll", 2, "loop iterations the deadlock search unrolls")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	werror := fs.Bool("werror", false, "treat warnings as errors")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mpilint [flags] model.pvm [model2.pvm ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	procs, err := parseProcs(*procsArg)
+	if err != nil {
+		fmt.Fprintf(stderr, "mpilint: %v\n", err)
+		return 2
+	}
+
+	var all []mpilint.Finding
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "mpilint: %v\n", err)
+			return 2
+		}
+		prog, err := pevpm.ParseFile(path, string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "mpilint: %v\n", err)
+			return 2
+		}
+		for _, p := range procs {
+			found, err := mpilint.Analyze(prog, mpilint.Options{
+				Procs:      p,
+				EagerLimit: *eager,
+				MaxUnroll:  *unroll,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "mpilint: %s: %v\n", path, err)
+				return 2
+			}
+			all = append(all, found...)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []mpilint.Finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "mpilint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+
+	errors := mpilint.Count(all, mpilint.SeverityError)
+	warnings := mpilint.Count(all, mpilint.SeverityWarning)
+	if !*asJSON && len(all) > 0 {
+		fmt.Fprintf(stdout, "%d error(s), %d warning(s)\n", errors, warnings)
+	}
+	if errors > 0 || (*werror && warnings > 0) {
+		return 1
+	}
+	return 0
+}
+
+// parseProcs parses the -procs list ("8" or "2,8,64").
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -procs value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -procs list")
+	}
+	return out, nil
+}

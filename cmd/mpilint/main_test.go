@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mpilint"
+)
+
+const fixtures = "../../internal/mpilint/testdata/"
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLICleanModelExitsZero(t *testing.T) {
+	code, out, _ := runCLI(t, "../../examples/jacobi/jacobi.pvm")
+	if code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("clean model produced output: %q", out)
+	}
+}
+
+func TestCLIDeadlockExitsOne(t *testing.T) {
+	code, out, _ := runCLI(t, "-procs", "4", fixtures+"deadlock_ring.pvm")
+	if code != 1 {
+		t.Fatalf("exit = %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "deadlock-cycle") || !strings.Contains(out, "circular wait") {
+		t.Errorf("output missing deadlock diagnosis:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlock_ring.pvm:5") {
+		t.Errorf("output does not cite file:line:\n%s", out)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-procs", "2", "-json", fixtures+"unmatched_send.pvm")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	var fs []mpilint.Finding
+	if err := json.Unmarshal([]byte(out), &fs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(fs) != 1 || fs[0].Rule != mpilint.RuleUnmatchedSend {
+		t.Errorf("findings = %+v", fs)
+	}
+}
+
+func TestCLIJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "../../examples/jacobi/jacobi.pvm")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+func TestCLIWerrorPromotesWarnings(t *testing.T) {
+	// self_send.pvm produces only warnings: exit 0 normally, 1 with -werror.
+	if code, out, _ := runCLI(t, "-procs", "2", fixtures+"self_send.pvm"); code != 0 {
+		t.Fatalf("warnings-only exit = %d, output:\n%s", code, out)
+	}
+	if code, _, _ := runCLI(t, "-procs", "2", "-werror", fixtures+"self_send.pvm"); code != 1 {
+		t.Fatalf("-werror did not promote warnings")
+	}
+}
+
+func TestCLIMultipleProcs(t *testing.T) {
+	// The head-on eager exchange is clean at the default limit but its
+	// Runon only covers ranks 0 and 1, so larger worlds stay clean too
+	// (extra ranks are idle).
+	code, _, _ := runCLI(t, "-procs", "2,4", fixtures+"clean_headon_eager.pvm")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// Dropping the eager limit makes every analyzed size deadlock.
+	code, out, _ := runCLI(t, "-procs", "2", "-eager", "512", fixtures+"clean_headon_eager.pvm")
+	if code != 1 || !strings.Contains(out, "deadlock-cycle") {
+		t.Fatalf("eager override: exit = %d, output:\n%s", code, out)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no arguments should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-procs", "zero", fixtures+"clean_ring.pvm"); code != 2 {
+		t.Error("bad -procs should exit 2")
+	}
+	if code, _, errb := runCLI(t, "no-such-file.pvm"); code != 2 || errb == "" {
+		t.Error("missing file should exit 2 with a message")
+	}
+}

@@ -245,6 +245,12 @@ func TestFigure6Claims(t *testing.T) {
 		t.Fatal("no evaluation cost recorded")
 	}
 	if ratio := res.ProcessorSeconds / res.EvalSeconds; ratio < 10 {
-		t.Errorf("PEVPM only %.1fx faster than the modelled processor time", ratio)
+		if raceEnabled {
+			// Race instrumentation slows evaluation ~10x; the speed claim
+			// is informational under -race rather than a failure.
+			t.Logf("PEVPM %.1fx faster than the modelled processor time (race build)", ratio)
+		} else {
+			t.Errorf("PEVPM only %.1fx faster than the modelled processor time", ratio)
+		}
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock assertions (the paper's "PEVPM evaluates far faster than
+// the program it models" claim) only hold without the ~10x slowdown the
+// detector adds.
+const raceEnabled = false

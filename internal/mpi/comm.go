@@ -87,9 +87,16 @@ func (c *Comm) Compute(seconds float64) {
 	c.w.rec(c.rank, trace.ComputeEnd, -1, 0, 0, "")
 }
 
+// checkPeer validates a peer rank. In lint mode the violation is first
+// recorded as a structured finding so it survives the panic that aborts
+// the simulation and can be reported as a diagnostic.
 func (c *Comm) checkPeer(op string, peer int) {
 	if peer < 0 || peer >= c.Size() {
-		panic(fmt.Sprintf("mpi: rank %d: %s peer %d out of range [0,%d)", c.rank, op, peer, c.Size()))
+		msg := fmt.Sprintf("%s peer %d out of range [0,%d)", op, peer, c.Size())
+		if c.w.lint != nil {
+			c.w.lint.record(SeverityError, RulePeerRange, c.rank, "%s", msg)
+		}
+		panic(fmt.Sprintf("mpi: rank %d: %s", c.rank, msg))
 	}
 }
 
@@ -123,6 +130,9 @@ func (c *Comm) isend(ctx, dst, tag, size int, data any) *Request {
 
 	env := &envelope{src: c.rank, dst: dst, ctx: ctx, tag: tag, size: size, data: data}
 	r := &Request{c: c, isSend: true, ctx: ctx, src: c.rank, tag: tag, env: env}
+	if c.w.lint != nil {
+		c.w.lint.trackRequest(r)
+	}
 	if size <= cfg.EagerLimit {
 		// Eager: payload travels with the envelope; locally complete.
 		c.w.sendPacket(c.rank, dst, pktEager, size, env, 0)
@@ -155,6 +165,9 @@ func (c *Comm) irecv(ctx, src, tag int) *Request {
 		panic(fmt.Sprintf("mpi: rank %d: recv tag %d invalid", c.rank, tag))
 	}
 	r := &Request{c: c, ctx: ctx, src: src, tag: tag}
+	if c.w.lint != nil {
+		c.w.lint.trackRequest(r)
+	}
 	c.w.ranks[c.rank].postRecv(c.w, r)
 	return r
 }
@@ -232,6 +245,9 @@ func (c *Comm) chargeCompletion(r *Request) {
 		return
 	}
 	r.cpuCharged = true
+	if c.w.lint != nil {
+		c.w.lint.requestWaited(r)
+	}
 	if !r.isSend {
 		c.hostCost(c.w.net.Config().RecvOverhead, r.st.Size)
 		if r.ctx == ctxUser {

@@ -31,6 +31,9 @@ func (c *Comm) Issend(dst, tag, size int) *Request {
 	c.hostCost(cfg.SendOverhead, size)
 	env := &envelope{src: c.rank, dst: dst, ctx: ctxUser, tag: tag, size: size}
 	r := &Request{c: c, isSend: true, ctx: ctxUser, src: c.rank, tag: tag, env: env}
+	if c.w.lint != nil {
+		c.w.lint.trackRequest(r)
+	}
 	env.rendezvous = true
 	c.w.nextSendID++
 	env.sendID = c.w.nextSendID

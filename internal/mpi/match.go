@@ -63,6 +63,9 @@ func (rs *rankState) arriveEnvelope(w *World, env *envelope) {
 // postRecv registers a receive request: match the oldest compatible
 // unexpected envelope, or queue the request.
 func (rs *rankState) postRecv(w *World, r *Request) {
+	if w.lint != nil {
+		w.lint.checkWildcard(rs, r)
+	}
 	for i, env := range rs.unexpected {
 		if matches(r, env) {
 			rs.unexpected = append(rs.unexpected[:i], rs.unexpected[i+1:]...)

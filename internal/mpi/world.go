@@ -36,6 +36,10 @@ type World struct {
 	// (sends, receives, compute intervals, collective brackets).
 	tracer *trace.Log
 
+	// lint, when non-nil, shadows user-level requests and messages and
+	// reports communication left dangling (see EnableLint).
+	lint *Linter
+
 	nextSendID uint64
 	sendReqs   map[uint64]*Request
 
@@ -141,6 +145,9 @@ func (w *World) Wait() (sim.Time, error) {
 	}
 	end, err := w.e.Run(sim.Forever)
 	if err != nil {
+		if w.lint != nil && errors.Is(err, sim.ErrDeadlock) {
+			w.lint.diagnoseDeadlock(w)
+		}
 		return end, err
 	}
 	var last sim.Time
@@ -151,6 +158,9 @@ func (w *World) Wait() (sim.Time, error) {
 		if t > last {
 			last = t
 		}
+	}
+	if w.lint != nil {
+		w.lint.finalize(w)
 	}
 	return last, nil
 }

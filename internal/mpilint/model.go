@@ -1,0 +1,726 @@
+package mpilint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pevpm"
+)
+
+// Options configures one static analysis of a PEVPM model.
+type Options struct {
+	// Procs is the world size the model is analyzed at. Rank-dependent
+	// expressions are enumerated for every procnum in 0..Procs-1.
+	Procs int
+
+	// EagerLimit is the eager/rendezvous protocol switch in bytes:
+	// blocking sends strictly above it block until the receiver matches
+	// (MPICH 1.2.0 over TCP switches at 16 KB, the paper's setup).
+	// Zero selects the default.
+	EagerLimit int
+
+	// MaxUnroll caps how many iterations of each Loop the deadlock
+	// search unrolls. Two iterations expose cross-iteration ordering
+	// hazards; message-count matching always uses the full counts.
+	// Zero selects the default.
+	MaxUnroll int
+}
+
+// DefaultEagerLimit is MPICH 1.2.0's eager/rendezvous switch.
+const DefaultEagerLimit = 16 * 1024
+
+const defaultMaxUnroll = 2
+
+// maxOpsPerRank bounds the unrolled operation sequence so a pathological
+// model cannot make the deadlock search explode.
+const maxOpsPerRank = 1 << 16
+
+// Analyze statically checks a parsed PEVPM model for communication
+// bugs: it enumerates every rank's path through the Runon branches,
+// evaluates each Message's from/to/size per rank, balances send and
+// receive counts per rank pair, and searches the blocking-operation
+// graph for deadlock cycles. Findings are sorted by position and
+// severity.
+func Analyze(prog *pevpm.Program, opts Options) ([]Finding, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("mpilint: nil program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Procs <= 0 {
+		return nil, fmt.Errorf("mpilint: Procs = %d", opts.Procs)
+	}
+	if opts.EagerLimit == 0 {
+		opts.EagerLimit = DefaultEagerLimit
+	}
+	if opts.MaxUnroll <= 0 {
+		opts.MaxUnroll = defaultMaxUnroll
+	}
+	a := &analyzer{
+		prog:        prog,
+		opts:        opts,
+		dedup:       make(map[dedupKey]*pending),
+		runonSeen:   make(map[*pevpm.Runon]bool),
+		branchTaken: make(map[*pevpm.Runon]map[int]bool),
+		pairs:       make(map[pair]*pairCount),
+	}
+	a.run()
+	sortFindings(a.findings)
+	return a.findings, nil
+}
+
+type pair struct{ from, to int }
+
+// pairCount balances messages on one directed rank pair. Counts are
+// float64 because they are weighted by (possibly large) loop counts.
+type pairCount struct {
+	sends, recvs       float64
+	sendNode, recvNode *pevpm.Msg
+}
+
+// op is one communication operation in a rank's unrolled sequence, the
+// unit of the deadlock search.
+type op struct {
+	send     bool
+	blocking bool // rendezvous send: parks until the receive matches
+	peer     int
+	node     *pevpm.Msg
+}
+
+type dedupKey struct {
+	rule string
+	node pevpm.Node
+}
+
+// pending aggregates one (rule, directive) diagnosis over all ranks
+// that trigger it, so a bad directive yields one finding, not Procs.
+type pending struct {
+	sev   Severity
+	rule  string
+	node  pevpm.Node
+	msg   string
+	ranks []int
+}
+
+type analyzer struct {
+	prog *pevpm.Program
+	opts Options
+
+	findings []Finding
+	dedup    map[dedupKey]*pending
+	dedupSeq []dedupKey // insertion order, for deterministic finalization
+
+	runonSeen   map[*pevpm.Runon]bool
+	branchTaken map[*pevpm.Runon]map[int]bool
+	pairs       map[pair]*pairCount
+
+	// mismatched marks pairs already reported by count matching, so the
+	// deadlock search does not re-report the same root cause.
+	mismatched map[pair]bool
+}
+
+func (a *analyzer) run() {
+	if !a.checkParams() {
+		// Unbound parameters poison every evaluation below; stop at the
+		// model's equivalent of a compile error.
+		a.finalizeDedup()
+		return
+	}
+	seqs := make([][]op, a.opts.Procs)
+	colls := make([][]string, a.opts.Procs)
+	for r := 0; r < a.opts.Procs; r++ {
+		env := a.rankEnv(r)
+		a.walkCount(r, env, a.prog.Body, 1)
+		seqs[r], colls[r] = a.walkSeq(r, env)
+	}
+	a.checkUnreachable()
+	a.checkPairs()
+	a.checkCollectives(colls)
+	a.simulate(seqs)
+	a.finalizeDedup()
+	for i := range a.findings {
+		a.findings[i].Procs = a.opts.Procs
+	}
+}
+
+func (a *analyzer) rankEnv(rank int) pevpm.Env {
+	env := pevpm.Env{
+		"procnum":  float64(rank),
+		"numprocs": float64(a.opts.Procs),
+	}
+	for k, v := range a.prog.Params {
+		env[k] = v
+	}
+	return env
+}
+
+// report records a per-directive diagnosis, deduplicated per (rule,
+// node) across ranks; the first triggering rank's message is kept.
+func (a *analyzer) report(sev Severity, rule string, rank int, node pevpm.Node, format string, args ...any) {
+	key := dedupKey{rule, node}
+	if p, ok := a.dedup[key]; ok {
+		p.ranks = append(p.ranks, rank)
+		return
+	}
+	a.dedup[key] = &pending{
+		sev: sev, rule: rule, node: node,
+		msg: fmt.Sprintf(format, args...), ranks: []int{rank},
+	}
+	a.dedupSeq = append(a.dedupSeq, key)
+}
+
+// reportGlobal records a job-wide finding (rank -1) directly.
+func (a *analyzer) reportGlobal(sev Severity, rule string, node pevpm.Node, format string, args ...any) {
+	pos := ""
+	if node != nil {
+		pos = node.Pos().String()
+	}
+	a.findings = append(a.findings, Finding{
+		Severity: sev, Rule: rule, Pos: pos, Rank: -1,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (a *analyzer) finalizeDedup() {
+	for _, key := range a.dedupSeq {
+		p := a.dedup[key]
+		sort.Ints(p.ranks)
+		msg := p.msg
+		if len(p.ranks) > 1 {
+			msg += " (" + ranksLabel(p.ranks) + ")"
+		}
+		a.findings = append(a.findings, Finding{
+			Severity: p.sev, Rule: p.rule, Pos: p.node.Pos().String(),
+			Rank: p.ranks[0], Message: msg,
+		})
+	}
+}
+
+// checkParams verifies every expression's free variables are bound by a
+// Param or the builtin procnum/numprocs. It returns false when unbound
+// parameters were found.
+func (a *analyzer) checkParams() bool {
+	bound := map[string]bool{"procnum": true, "numprocs": true}
+	for k := range a.prog.Params {
+		bound[k] = true
+	}
+	seen := map[string]bool{}
+	ok := true
+	pevpm.Walk(a.prog.Body, func(n pevpm.Node) bool {
+		for _, e := range nodeExprs(n) {
+			for _, v := range pevpm.Vars(e) {
+				if bound[v] || seen[v] {
+					continue
+				}
+				seen[v] = true
+				ok = false
+				a.reportGlobal(SeverityError, RuleUnboundParam, n,
+					"%q is not a Param and not procnum/numprocs", v)
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// nodeExprs lists every expression a directive evaluates.
+func nodeExprs(n pevpm.Node) []pevpm.Expr {
+	switch node := n.(type) {
+	case *pevpm.Loop:
+		return []pevpm.Expr{node.Count}
+	case *pevpm.Runon:
+		return node.Conds
+	case *pevpm.Msg:
+		return []pevpm.Expr{node.Size, node.From, node.To}
+	case *pevpm.Coll:
+		if node.Root != nil {
+			return []pevpm.Expr{node.Size, node.Root}
+		}
+		return []pevpm.Expr{node.Size}
+	case *pevpm.Serial:
+		return []pevpm.Expr{node.Time}
+	}
+	return nil
+}
+
+// walkCount is the counting walk: it follows rank's path through the
+// model evaluating every directive once per syntactic occurrence, with
+// weight the product of enclosing Loop counts — full loop counts, so the
+// send/receive balance is exact even though the deadlock walk truncates.
+func (a *analyzer) walkCount(rank int, env pevpm.Env, b pevpm.Block, weight float64) {
+	for _, n := range b {
+		switch node := n.(type) {
+		case *pevpm.Serial:
+			t, err := node.Time.Eval(env)
+			if err != nil {
+				a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+			} else if t < 0 {
+				a.report(SeverityError, RuleBadTime, rank, node,
+					"Serial time %g is negative", t)
+			}
+
+		case *pevpm.Loop:
+			count, ok := a.loopCount(rank, env, node)
+			if !ok || count == 0 {
+				continue
+			}
+			a.walkCount(rank, env, node.Body, weight*count)
+
+		case *pevpm.Runon:
+			a.runonSeen[node] = true
+			for i, cond := range node.Conds {
+				v, err := cond.Eval(env)
+				if err != nil {
+					a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+					break
+				}
+				if v != 0 {
+					taken := a.branchTaken[node]
+					if taken == nil {
+						taken = make(map[int]bool)
+						a.branchTaken[node] = taken
+					}
+					taken[i] = true
+					a.walkCount(rank, env, node.Bodies[i], weight)
+					break
+				}
+			}
+
+		case *pevpm.Msg:
+			a.checkMsg(rank, env, node, weight)
+
+		case *pevpm.Coll:
+			size, err := node.Size.Eval(env)
+			if err != nil {
+				a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+			} else if size < 0 {
+				a.report(SeverityError, RuleBadSize, rank, node,
+					"Collective size %g is negative", size)
+			}
+		}
+	}
+}
+
+// loopCount evaluates and validates a Loop's iteration count.
+func (a *analyzer) loopCount(rank int, env pevpm.Env, node *pevpm.Loop) (float64, bool) {
+	cf, err := node.Count.Eval(env)
+	if err != nil {
+		a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+		return 0, false
+	}
+	if cf < 0 {
+		a.report(SeverityError, RuleBadLoop, rank, node,
+			"Loop count %g is negative", cf)
+		return 0, false
+	}
+	if cf != math.Floor(cf) {
+		a.report(SeverityWarning, RuleBadLoop, rank, node,
+			"Loop count %g is not an integer; it truncates to %g", cf, math.Floor(cf))
+	}
+	return math.Floor(cf), true
+}
+
+// checkMsg validates one Message directive as executed by rank and, when
+// structurally sound, adds it to the pair balance.
+func (a *analyzer) checkMsg(rank int, env pevpm.Env, node *pevpm.Msg, weight float64) {
+	sizeF, err := node.Size.Eval(env)
+	if err != nil {
+		a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+		return
+	}
+	fromF, err := node.From.Eval(env)
+	if err != nil {
+		a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+		return
+	}
+	toF, err := node.To.Eval(env)
+	if err != nil {
+		a.report(SeverityError, RuleEvalError, rank, node, "%v", err)
+		return
+	}
+	size, from, to := int(sizeF), int(fromF), int(toF)
+
+	switch {
+	case size < 0:
+		a.report(SeverityError, RuleBadSize, rank, node,
+			"message size %d is negative", size)
+		return
+	case size == 0:
+		a.report(SeverityWarning, RuleBadSize, rank, node,
+			"message size is zero")
+	}
+
+	if from < 0 || from >= a.opts.Procs {
+		a.report(SeverityError, RuleRankBounds, rank, node,
+			"from = %d is outside [0,%d)", from, a.opts.Procs)
+		return
+	}
+	if to < 0 || to >= a.opts.Procs {
+		a.report(SeverityError, RuleRankBounds, rank, node,
+			"to = %d is outside [0,%d)", to, a.opts.Procs)
+		return
+	}
+
+	isSend := node.Kind == pevpm.MsgSend || node.Kind == pevpm.MsgIsend
+	if isSend && from != rank {
+		a.report(SeverityError, RuleWrongRole, rank, node,
+			"send executed by rank %d but from = %d", rank, from)
+		return
+	}
+	if !isSend && to != rank {
+		a.report(SeverityError, RuleWrongRole, rank, node,
+			"receive executed by rank %d but to = %d", rank, to)
+		return
+	}
+	if from == to {
+		a.report(SeverityWarning, RuleSelfSend, rank, node,
+			"rank %d sends to itself", from)
+	}
+
+	pc := a.pairs[pair{from, to}]
+	if pc == nil {
+		pc = &pairCount{}
+		a.pairs[pair{from, to}] = pc
+	}
+	if isSend {
+		pc.sends += weight
+		if pc.sendNode == nil {
+			pc.sendNode = node
+		}
+	} else {
+		pc.recvs += weight
+		if pc.recvNode == nil {
+			pc.recvNode = node
+		}
+	}
+}
+
+// walkSeq is the ordering walk: it unrolls rank's path into the ordered
+// operation sequence the deadlock search runs, with Loops truncated to
+// MaxUnroll iterations, plus the ordered list of collectives entered.
+func (a *analyzer) walkSeq(rank int, env pevpm.Env) ([]op, []string) {
+	var seq []op
+	var colls []string
+	var walk func(b pevpm.Block)
+	walk = func(b pevpm.Block) {
+		for _, n := range b {
+			if len(seq) >= maxOpsPerRank {
+				return
+			}
+			switch node := n.(type) {
+			case *pevpm.Loop:
+				cf, err := node.Count.Eval(env)
+				if err != nil || cf <= 0 {
+					continue
+				}
+				iters := int(math.Min(cf, float64(a.opts.MaxUnroll)))
+				for i := 0; i < iters; i++ {
+					walk(node.Body)
+				}
+			case *pevpm.Runon:
+				for i, cond := range node.Conds {
+					v, err := cond.Eval(env)
+					if err != nil {
+						break
+					}
+					if v != 0 {
+						walk(node.Bodies[i])
+						break
+					}
+				}
+			case *pevpm.Msg:
+				if o, ok := a.seqOp(rank, env, node); ok {
+					seq = append(seq, o)
+				}
+			case *pevpm.Coll:
+				colls = append(colls, node.Op)
+			}
+		}
+	}
+	walk(a.prog.Body)
+	return seq, colls
+}
+
+// seqOp turns a Message directive into a sequence operation; broken
+// directives (already reported by the counting walk) are skipped.
+func (a *analyzer) seqOp(rank int, env pevpm.Env, node *pevpm.Msg) (op, bool) {
+	sizeF, err1 := node.Size.Eval(env)
+	fromF, err2 := node.From.Eval(env)
+	toF, err3 := node.To.Eval(env)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return op{}, false
+	}
+	size, from, to := int(sizeF), int(fromF), int(toF)
+	if size < 0 || from < 0 || from >= a.opts.Procs || to < 0 || to >= a.opts.Procs {
+		return op{}, false
+	}
+	switch node.Kind {
+	case pevpm.MsgSend, pevpm.MsgIsend:
+		if from != rank {
+			return op{}, false
+		}
+		return op{
+			send:     true,
+			blocking: node.Kind == pevpm.MsgSend && size > a.opts.EagerLimit,
+			peer:     to,
+			node:     node,
+		}, true
+	case pevpm.MsgRecv:
+		if to != rank {
+			return op{}, false
+		}
+		return op{peer: from, node: node}, true
+	}
+	return op{}, false
+}
+
+// checkUnreachable reports Runon branches no rank ever selects. A branch
+// can be dead because its condition is false for every rank, or because
+// an earlier condition shadows it (Runon has if/else-if semantics).
+func (a *analyzer) checkUnreachable() {
+	pevpm.Walk(a.prog.Body, func(n pevpm.Node) bool {
+		node, ok := n.(*pevpm.Runon)
+		if !ok || !a.runonSeen[node] {
+			return true
+		}
+		taken := a.branchTaken[node]
+		for i, cond := range node.Conds {
+			if !taken[i] {
+				a.reportGlobal(SeverityWarning, RuleUnreachable, node,
+					"Runon branch %d (condition %s) is never taken by any of %d ranks",
+					i+1, cond.String(), a.opts.Procs)
+			}
+		}
+		return true
+	})
+}
+
+// checkPairs balances send against receive counts on every rank pair.
+func (a *analyzer) checkPairs() {
+	a.mismatched = make(map[pair]bool)
+	keys := make([]pair, 0, len(a.pairs))
+	for k := range a.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		pc := a.pairs[k]
+		switch {
+		case pc.sends > pc.recvs:
+			a.mismatched[k] = true
+			node := pc.sendNode
+			a.findings = append(a.findings, Finding{
+				Severity: SeverityError, Rule: RuleUnmatchedSend,
+				Pos: node.Pos().String(), Rank: k.from,
+				Message: fmt.Sprintf("%.0f message(s) from rank %d to rank %d have no matching receive (%.0f sent, %.0f received)",
+					pc.sends-pc.recvs, k.from, k.to, pc.sends, pc.recvs),
+			})
+		case pc.recvs > pc.sends:
+			a.mismatched[k] = true
+			node := pc.recvNode
+			a.findings = append(a.findings, Finding{
+				Severity: SeverityError, Rule: RuleUnmatchedRecv,
+				Pos: node.Pos().String(), Rank: k.to,
+				Message: fmt.Sprintf("%.0f receive(s) on rank %d from rank %d are never satisfied (%.0f sent, %.0f received)",
+					pc.recvs-pc.sends, k.to, k.from, pc.sends, pc.recvs),
+			})
+		}
+	}
+}
+
+// checkCollectives verifies every rank enters the same collective
+// sequence; a rank skipping (or adding) a collective hangs the job.
+func (a *analyzer) checkCollectives(colls [][]string) {
+	ref := colls[0]
+	for r := 1; r < len(colls); r++ {
+		if equalStrings(colls[r], ref) {
+			continue
+		}
+		a.reportGlobal(SeverityError, RuleCollMismatch, nil,
+			"rank %d executes collectives %v but rank 0 executes %v", r, colls[r], ref)
+		return
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// simulate runs the per-iteration communication schedule abstractly:
+// every rank advances through its unrolled operation sequence; eager
+// sends complete immediately, rendezvous sends park until received, and
+// receives park until a message from their peer is queued. When no rank
+// can advance, the ranks still holding operations are stuck, and a cycle
+// in their wait-for graph is a guaranteed deadlock.
+func (a *analyzer) simulate(seqs [][]op) {
+	P := len(seqs)
+	// fifos holds in-flight messages per directed pair, in send order
+	// (MPI's non-overtaking rule); true marks a rendezvous message whose
+	// sender is parked until it is received.
+	fifos := make(map[pair][]bool)
+	pcs := make([]int, P)
+	posted := make([]bool, P)  // current send already enqueued
+	cleared := make([]bool, P) // current rendezvous send was received
+	for {
+		progress := false
+		for r := 0; r < P; r++ {
+			for pcs[r] < len(seqs[r]) {
+				o := seqs[r][pcs[r]]
+				if o.send {
+					k := pair{r, o.peer}
+					if !posted[r] {
+						fifos[k] = append(fifos[k], o.blocking)
+						posted[r] = true
+						// Posting is progress: a rank scanned earlier in
+						// this round may be parked waiting for exactly
+						// this message.
+						progress = true
+					}
+					if o.blocking && !cleared[r] {
+						break // parked in rendezvous send
+					}
+				} else {
+					k := pair{o.peer, r}
+					q := fifos[k]
+					if len(q) == 0 {
+						break // parked in receive
+					}
+					if q[0] {
+						cleared[o.peer] = true
+						progress = true
+					}
+					fifos[k] = q[1:]
+				}
+				pcs[r]++
+				posted[r] = false
+				cleared[r] = false
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	stuck := make(map[int]op)
+	for r := 0; r < P; r++ {
+		if pcs[r] < len(seqs[r]) {
+			stuck[r] = seqs[r][pcs[r]]
+		}
+	}
+	if len(stuck) == 0 {
+		return
+	}
+	a.reportStuck(stuck)
+}
+
+// reportStuck classifies the ranks the abstract schedule left blocked:
+// cycles in the wait-for graph become deadlock findings; acyclic stalls
+// are only reported when count matching did not already explain them.
+func (a *analyzer) reportStuck(stuck map[int]op) {
+	const (
+		unvisited = 0
+		onPath    = 1
+		done      = 2
+	)
+	color := make(map[int]int)
+	ranks := make([]int, 0, len(stuck))
+	for r := range stuck {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	inCycle := make(map[int]bool)
+	for _, start := range ranks {
+		if color[start] != unvisited {
+			continue
+		}
+		var path []int
+		index := make(map[int]int)
+		cur := start
+		for {
+			if _, isStuck := stuck[cur]; !isStuck {
+				break
+			}
+			if color[cur] == done {
+				break
+			}
+			if at, seen := index[cur]; seen {
+				cycle := path[at:]
+				a.reportCycle(cycle, stuck)
+				for _, r := range cycle {
+					inCycle[r] = true
+				}
+				break
+			}
+			index[cur] = len(path)
+			path = append(path, cur)
+			color[cur] = onPath
+			cur = stuck[cur].peer
+		}
+		for _, r := range path {
+			color[r] = done
+		}
+	}
+	for _, r := range ranks {
+		if inCycle[r] {
+			continue
+		}
+		o := stuck[r]
+		k := pair{o.peer, r}
+		if o.send {
+			k = pair{r, o.peer}
+		}
+		if a.mismatched[k] {
+			continue // root cause already reported by count matching
+		}
+		a.findings = append(a.findings, Finding{
+			Severity: SeverityError, Rule: RuleDeadlockCycle,
+			Pos: o.node.Pos().String(), Rank: r,
+			Message: fmt.Sprintf("rank %d is permanently blocked in %s waiting on rank %d",
+				r, pevpm.Describe(o.node), o.peer),
+		})
+	}
+}
+
+func (a *analyzer) reportCycle(cycle []int, stuck map[int]op) {
+	// Rotate so the smallest rank leads, for deterministic messages.
+	min := 0
+	for i, r := range cycle {
+		if r < cycle[min] {
+			min = i
+		}
+	}
+	rot := append(append([]int{}, cycle[min:]...), cycle[:min]...)
+	msg := "circular wait: "
+	for i, r := range rot {
+		if i > 0 {
+			msg += " -> "
+		}
+		o := stuck[r]
+		kind := "recv from"
+		if o.send {
+			kind = "send to"
+		}
+		msg += fmt.Sprintf("rank %d (%s %d at %s)", r, kind, o.peer, o.node.Pos())
+	}
+	a.findings = append(a.findings, Finding{
+		Severity: SeverityError, Rule: RuleDeadlockCycle,
+		Pos: stuck[rot[0]].node.Pos().String(), Rank: rot[0],
+		Message: msg,
+	})
+}

@@ -5,9 +5,38 @@ import (
 	"strings"
 )
 
+// Pos is a source position of a directive: the file the model was read
+// from (empty when parsed from a bare string) and the 1-based line and
+// column of the directive's head token.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries any location at all.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return ""
+	}
+	s := fmt.Sprintf("%d", p.Line)
+	if p.Col > 0 {
+		s = fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	if p.File != "" {
+		return p.File + ":" + s
+	}
+	return s
+}
+
 // Node is one model construct: the paper's performance directives.
 type Node interface {
 	describe() string
+	// Pos returns where the directive appeared in the source, or the
+	// zero Pos for programmatically built nodes.
+	Pos() Pos
 }
 
 // Block is a sequence of directives executed in order.
@@ -17,9 +46,11 @@ type Block []Node
 type Loop struct {
 	Count Expr
 	Body  Block
+	At    Pos
 }
 
 func (l *Loop) describe() string { return "Loop " + l.Count.String() }
+func (l *Loop) Pos() Pos         { return l.At }
 
 // Runon guards blocks by process conditions (PEVPM "Runon c1 = ... & c2
 // = ..."). Conditions are evaluated in order; the body of the first true
@@ -28,7 +59,10 @@ func (l *Loop) describe() string { return "Loop " + l.Count.String() }
 type Runon struct {
 	Conds  []Expr
 	Bodies []Block
+	At     Pos
 }
+
+func (r *Runon) Pos() Pos { return r.At }
 
 func (r *Runon) describe() string {
 	parts := make([]string, len(r.Conds))
@@ -81,7 +115,10 @@ type Msg struct {
 	Size Expr
 	From Expr
 	To   Expr
+	At   Pos
 }
+
+func (m *Msg) Pos() Pos { return m.At }
 
 func (m *Msg) describe() string {
 	return fmt.Sprintf("Message %s size=%s from=%s to=%s",
@@ -98,7 +135,10 @@ type Coll struct {
 	Op   string // benchmark operation name, e.g. "MPI_Bcast"
 	Size Expr
 	Root Expr // may be nil
+	At   Pos
 }
+
+func (c *Coll) Pos() Pos { return c.At }
 
 func (c *Coll) describe() string {
 	return fmt.Sprintf("Collective %s size=%s", c.Op, c.Size.String())
@@ -109,7 +149,10 @@ func (c *Coll) describe() string {
 type Serial struct {
 	Machine string
 	Time    Expr
+	At      Pos
 }
+
+func (s *Serial) Pos() Pos { return s.At }
 
 func (s *Serial) describe() string {
 	if s.Machine == "" {
@@ -125,11 +168,37 @@ type Program struct {
 	// evaluator adds procnum and numprocs per process.
 	Params map[string]float64
 	Body   Block
+	// File is the source file the model was parsed from, recorded in
+	// node positions; empty for bare-string or programmatic models.
+	File string
 }
 
 // NewProgram returns an empty program ready for the builder API.
 func NewProgram() *Program {
 	return &Program{Params: make(map[string]float64)}
+}
+
+// Describe renders one directive in the form error messages and lint
+// findings use.
+func Describe(n Node) string { return n.describe() }
+
+// Walk calls fn for every node of the block in depth-first pre-order,
+// descending into Loop bodies and every Runon branch. If fn returns
+// false the node's children are skipped.
+func Walk(b Block, fn func(Node) bool) {
+	for _, n := range b {
+		if n == nil || !fn(n) {
+			continue
+		}
+		switch node := n.(type) {
+		case *Loop:
+			Walk(node.Body, fn)
+		case *Runon:
+			for _, body := range node.Bodies {
+				Walk(body, fn)
+			}
+		}
+	}
 }
 
 // Validate walks the tree and reports structural problems.

@@ -176,6 +176,33 @@ func MustExpr(src string) Expr {
 	return e
 }
 
+// Vars returns the free variables of e in first-use order, without
+// duplicates. Static analysis uses it to find references to parameters
+// the model never binds.
+func Vars(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	walkVars(e, func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	})
+	return out
+}
+
+func walkVars(e Expr, emit func(string)) {
+	switch x := e.(type) {
+	case varRef:
+		emit(string(x))
+	case binary:
+		walkVars(x.l, emit)
+		walkVars(x.r, emit)
+	case unary:
+		walkVars(x.x, emit)
+	}
+}
+
 // Num returns a numeric literal expression.
 func Num(v float64) Expr { return numLit(v) }
 

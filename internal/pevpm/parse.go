@@ -29,19 +29,25 @@ import (
 // Param is this implementation's directive for binding model constants
 // (the values that, in the paper's annotated-C form, come from the
 // surrounding program text).
-func Parse(src string) (*Program, error) {
-	dirs, err := lexDirectives(src)
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile is Parse with a file name recorded in node positions and
+// error messages, so diagnostics cite file:line:col.
+func ParseFile(file, src string) (*Program, error) {
+	dirs, err := lexDirectives(file, src)
 	if err != nil {
 		return nil, err
 	}
 	prog := NewProgram()
+	prog.File = file
 	p := &dirParser{dirs: dirs, prog: prog}
 	body, err := p.parseBlockBody(false)
 	if err != nil {
 		return nil, err
 	}
 	if p.pos != len(p.dirs) {
-		return nil, fmt.Errorf("pevpm: line %d: unexpected %q", p.dirs[p.pos].line, p.dirs[p.pos].head)
+		d := p.dirs[p.pos]
+		return nil, fmt.Errorf("pevpm: %s: unexpected %q", d.pos, d.head)
 	}
 	prog.Body = body
 	return prog, prog.Validate()
@@ -49,15 +55,30 @@ func Parse(src string) (*Program, error) {
 
 // directive is one logical directive after continuation merging.
 type directive struct {
-	line   int      // first source line, for error messages
+	pos    Pos      // head token position, for error messages and nodes
 	head   string   // "Loop", "Runon", "Message", "Serial", "Param", "{", "}"
 	rest   string   // the head line's remainder
 	fields []string // continuation lines ("key = value")
 }
 
-func lexDirectives(src string) ([]directive, error) {
+// headCol locates the 1-based column of the directive head inside the
+// raw source line (after the PEVPM marker).
+func headCol(raw, head string) int {
+	mark := strings.Index(raw, "PEVPM")
+	if mark < 0 {
+		return 0
+	}
+	off := strings.Index(raw[mark+len("PEVPM"):], head)
+	if off < 0 {
+		return mark + 1
+	}
+	return mark + len("PEVPM") + off + 1
+}
+
+func lexDirectives(file, src string) ([]directive, error) {
 	var dirs []directive
 	for i, raw := range strings.Split(src, "\n") {
+		at := Pos{File: file, Line: i + 1}
 		line := strings.TrimSpace(raw)
 		line = strings.TrimPrefix(line, "//")
 		line = strings.TrimSpace(line)
@@ -69,11 +90,11 @@ func lexDirectives(src string) ([]directive, error) {
 		}
 		line = strings.TrimSpace(strings.TrimPrefix(line, "PEVPM"))
 		if line == "" {
-			return nil, fmt.Errorf("pevpm: line %d: empty directive", i+1)
+			return nil, fmt.Errorf("pevpm: %s: empty directive", at)
 		}
 		if strings.HasPrefix(line, "&") {
 			if len(dirs) == 0 {
-				return nil, fmt.Errorf("pevpm: line %d: continuation with no directive", i+1)
+				return nil, fmt.Errorf("pevpm: %s: continuation with no directive", at)
 			}
 			dirs[len(dirs)-1].fields = append(dirs[len(dirs)-1].fields,
 				strings.TrimSpace(strings.TrimPrefix(line, "&")))
@@ -83,7 +104,8 @@ func lexDirectives(src string) ([]directive, error) {
 		if idx := strings.IndexAny(line, " \t"); idx >= 0 {
 			head, rest = line[:idx], strings.TrimSpace(line[idx+1:])
 		}
-		dirs = append(dirs, directive{line: i + 1, head: head, rest: rest})
+		at.Col = headCol(raw, head)
+		dirs = append(dirs, directive{pos: at, head: head, rest: rest})
 	}
 	return dirs, nil
 }
@@ -113,6 +135,11 @@ type dirParser struct {
 	prog *Program
 }
 
+// errf prefixes a parse diagnostic with the directive's position.
+func errf(d directive, format string, args ...any) error {
+	return fmt.Errorf("pevpm: %s: %s", d.pos, fmt.Sprintf(format, args...))
+}
+
 func (p *dirParser) peek() (directive, bool) {
 	if p.pos >= len(p.dirs) {
 		return directive{}, false
@@ -134,7 +161,7 @@ func (p *dirParser) parseBlockBody(inner bool) (Block, error) {
 		}
 		if d.head == "}" {
 			if !inner {
-				return nil, fmt.Errorf("pevpm: line %d: unmatched '}'", d.line)
+				return nil, errf(d, "unmatched '}'")
 			}
 			p.pos++
 			return block, nil
@@ -150,10 +177,10 @@ func (p *dirParser) parseBlockBody(inner bool) (Block, error) {
 }
 
 // parseBracedBlock expects '{' and parses through the matching '}'.
-func (p *dirParser) parseBracedBlock(owner string, line int) (Block, error) {
+func (p *dirParser) parseBracedBlock(owner string, at Pos) (Block, error) {
 	d, ok := p.peek()
 	if !ok || d.head != "{" {
-		return nil, fmt.Errorf("pevpm: line %d: %s must be followed by a '{' block", line, owner)
+		return nil, fmt.Errorf("pevpm: %s: %s must be followed by a '{' block", at, owner)
 	}
 	p.pos++
 	return p.parseBlockBody(true)
@@ -166,11 +193,11 @@ func (p *dirParser) parseDirective() (Node, error) {
 	case "Param":
 		key, value, err := splitField(d.rest)
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
 		expr, err := ParseExpr(value)
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
 		// Params may reference previously defined params.
 		env := Env{}
@@ -179,7 +206,7 @@ func (p *dirParser) parseDirective() (Node, error) {
 		}
 		v, err := expr.Eval(env)
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
 		p.prog.Params[key] = v
 		return nil, nil
@@ -187,34 +214,34 @@ func (p *dirParser) parseDirective() (Node, error) {
 	case "Loop":
 		_, value, err := splitField(d.rest) // key name ("iterations") is documentation
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
 		count, err := ParseExpr(value)
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
-		body, err := p.parseBracedBlock("Loop", d.line)
+		body, err := p.parseBracedBlock("Loop", d.pos)
 		if err != nil {
 			return nil, err
 		}
-		return &Loop{Count: count, Body: body}, nil
+		return &Loop{Count: count, Body: body, At: d.pos}, nil
 
 	case "Runon":
 		fields := append([]string{d.rest}, d.fields...)
-		node := &Runon{}
+		node := &Runon{At: d.pos}
 		for _, f := range fields {
 			_, value, err := splitField(f)
 			if err != nil {
-				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				return nil, errf(d, "%v", err)
 			}
 			cond, err := ParseExpr(value)
 			if err != nil {
-				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				return nil, errf(d, "%v", err)
 			}
 			node.Conds = append(node.Conds, cond)
 		}
 		for range node.Conds {
-			body, err := p.parseBracedBlock("Runon", d.line)
+			body, err := p.parseBracedBlock("Runon", d.pos)
 			if err != nil {
 				return nil, err
 			}
@@ -224,70 +251,70 @@ func (p *dirParser) parseDirective() (Node, error) {
 
 	case "Message":
 		fields := append([]string{d.rest}, d.fields...)
-		msg := &Msg{}
+		msg := &Msg{At: d.pos}
 		seen := map[string]bool{}
 		for _, f := range fields {
 			key, value, err := splitField(f)
 			if err != nil {
-				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				return nil, errf(d, "%v", err)
 			}
 			if seen[key] {
-				return nil, fmt.Errorf("pevpm: line %d: duplicate Message field %q", d.line, key)
+				return nil, errf(d, "duplicate Message field %q", key)
 			}
 			seen[key] = true
 			switch key {
 			case "type":
 				kind, err := ParseMsgKind(value)
 				if err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 				msg.Kind = kind
 			case "size":
 				if msg.Size, err = ParseExpr(value); err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 			case "from":
 				if msg.From, err = ParseExpr(value); err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 			case "to":
 				if msg.To, err = ParseExpr(value); err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 			default:
-				return nil, fmt.Errorf("pevpm: line %d: unknown Message field %q", d.line, key)
+				return nil, errf(d, "unknown Message field %q", key)
 			}
 		}
 		if !seen["type"] || msg.Size == nil || msg.From == nil || msg.To == nil {
-			return nil, fmt.Errorf("pevpm: line %d: Message needs type, size, from and to", d.line)
+			return nil, errf(d, "Message needs type, size, from and to")
 		}
 		return msg, nil
 
 	case "Collective":
 		fields := append([]string{d.rest}, d.fields...)
-		coll := &Coll{}
+		coll := &Coll{At: d.pos}
 		for _, f := range fields {
 			key, value, err := splitField(f)
 			if err != nil {
-				return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+				return nil, errf(d, "%v", err)
 			}
 			switch key {
 			case "type":
 				coll.Op = value
 			case "size":
 				if coll.Size, err = ParseExpr(value); err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 			case "root":
 				if coll.Root, err = ParseExpr(value); err != nil {
-					return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+					return nil, errf(d, "%v", err)
 				}
 			default:
-				return nil, fmt.Errorf("pevpm: line %d: unknown Collective field %q", d.line, key)
+				return nil, errf(d, "unknown Collective field %q", key)
 			}
 		}
 		if coll.Op == "" || coll.Size == nil {
-			return nil, fmt.Errorf("pevpm: line %d: Collective needs type and size", d.line)
+			return nil, errf(d, "Collective needs type and size")
 		}
 		return coll, nil
 
@@ -298,24 +325,24 @@ func (p *dirParser) parseDirective() (Node, error) {
 			rest = strings.TrimSpace(rest[3:])
 			idx := strings.IndexAny(rest, " \t")
 			if idx < 0 {
-				return nil, fmt.Errorf("pevpm: line %d: Serial on <machine> needs a time field", d.line)
+				return nil, errf(d, "Serial on <machine> needs a time field")
 			}
 			machine, rest = rest[:idx], strings.TrimSpace(rest[idx:])
 		}
 		key, value, err := splitField(rest)
 		if err != nil || key != "time" {
-			return nil, fmt.Errorf("pevpm: line %d: Serial needs 'time = <expr>'", d.line)
+			return nil, errf(d, "Serial needs 'time = <expr>'")
 		}
 		expr, err := ParseExpr(value)
 		if err != nil {
-			return nil, fmt.Errorf("pevpm: line %d: %v", d.line, err)
+			return nil, errf(d, "%v", err)
 		}
-		return &Serial{Machine: machine, Time: expr}, nil
+		return &Serial{Machine: machine, Time: expr, At: d.pos}, nil
 
 	case "{":
-		return nil, fmt.Errorf("pevpm: line %d: block without an owning directive", d.line)
+		return nil, errf(d, "block without an owning directive")
 	default:
-		return nil, fmt.Errorf("pevpm: line %d: unknown directive %q", d.line, d.head)
+		return nil, errf(d, "unknown directive %q", d.head)
 	}
 }
 

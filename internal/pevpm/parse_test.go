@@ -190,6 +190,87 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParsePositions(t *testing.T) {
+	prog, err := ParseFile("fig5.pvm", figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.File != "fig5.pvm" {
+		t.Errorf("Program.File = %q", prog.File)
+	}
+	loop := prog.Body[0].(*Loop)
+	// figure5 is a raw string starting with a newline: the Loop directive
+	// is on source line 6, head token at column 7 ("PEVPM Loop ...").
+	if got := loop.Pos(); got.File != "fig5.pvm" || got.Line != 6 || got.Col != 7 {
+		t.Errorf("Loop position = %v", got)
+	}
+	if s := loop.Pos().String(); s != "fig5.pvm:6:7" {
+		t.Errorf("Loop position string = %q", s)
+	}
+	// Every directive node must carry a valid position.
+	Walk(prog.Body, func(n Node) bool {
+		if !n.Pos().IsValid() {
+			t.Errorf("node %s has no position", Describe(n))
+		}
+		return true
+	})
+}
+
+func TestParseErrorsCiteFileLine(t *testing.T) {
+	src := "PEVPM Param ok = 1\nPEVPM Frobnicate x = 1\n"
+	_, err := ParseFile("bad.pvm", src)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.pvm:2") {
+		t.Errorf("error %q does not cite bad.pvm:2", err)
+	}
+	// Without a file name the position is still line:col.
+	_, err = Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "pevpm: 2:") {
+		t.Errorf("bare Parse error %q does not cite line 2", err)
+	}
+}
+
+func TestWalkVisitsAllBranches(t *testing.T) {
+	prog, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	Walk(prog.Body, func(n Node) bool {
+		switch n.(type) {
+		case *Loop:
+			counts["loop"]++
+		case *Runon:
+			counts["runon"]++
+		case *Msg:
+			counts["msg"]++
+		case *Serial:
+			counts["serial"]++
+		}
+		return true
+	})
+	// 1 loop, 1 outer + 5 inner Runons, 8 messages, 1 serial.
+	if counts["loop"] != 1 || counts["runon"] != 6 || counts["msg"] != 8 || counts["serial"] != 1 {
+		t.Errorf("walk counts = %v", counts)
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e := MustExpr("xsize*sizeof(float) + procnum % stride - xsize")
+	got := Vars(e)
+	want := []string{"xsize", "procnum", "stride"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Vars[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 func TestFormatContainsDirectives(t *testing.T) {
 	prog, err := Parse(figure5)
 	if err != nil {

@@ -145,6 +145,16 @@ func (p *Proc) Done() bool { return p.state == procDone }
 // Blocked reports whether the process is parked waiting for Unblock.
 func (p *Proc) Blocked() bool { return p.state == procBlocked }
 
+// BlockedOn returns the reason the process is currently blocked on (as
+// passed to Block), or "" when it is not blocked. Diagnostic tooling
+// uses it to name a stuck process's pending operation.
+func (p *Proc) BlockedOn() string {
+	if p.state == procBlocked {
+		return p.reason
+	}
+	return ""
+}
+
 func (p *Proc) describeBlocked() string {
 	if p.reason == "" {
 		return p.name
