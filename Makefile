@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint ci clean
+.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism
 
 all: build
 
@@ -19,12 +19,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the repository's own static analyzer over the shipped models.
+# lint sweeps the repository's own static analyzer over every shipped
+# model and lint fixture, checking each file's expected exit code.
 lint:
-	$(GO) run ./cmd/mpilint examples/jacobi/jacobi.pvm
+	./scripts/lint_sweep.sh
+
+# bench regenerates the benchmark ledger: every figure at reduced
+# density, with figure metrics and calibration-normalised wall times.
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH.json
+
+# bench-check gates on the committed baseline: >15% normalised
+# wall-clock regression or >5% drift of a deterministic figure metric
+# fails. Refresh the baseline with `make bench-baseline` (see docs/CI.md).
+bench-check: bench
+	$(GO) run ./cmd/benchjson -check -current BENCH.json -baseline BENCH_baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/benchjson -out BENCH_baseline.json
+
+# determinism proves parallel sweeps change wall-clock only: the quick
+# repro run must be byte-identical between -parallel=1 and the default
+# worker count.
+determinism:
+	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives -parallel=1 > /tmp/repro-serial.txt
+	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives > /tmp/repro-parallel.txt
+	diff /tmp/repro-serial.txt /tmp/repro-parallel.txt
+	@echo "determinism: serial and parallel outputs are byte-identical"
 
 ci:
 	./ci.sh
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH.json

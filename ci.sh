@@ -1,10 +1,20 @@
 #!/bin/sh
-# The repository's CI gate: vet, build, the full test suite under the
-# race detector, and an mpilint smoke test over the shipped Jacobi
-# model (which must lint clean — zero findings, exit 0).
+# The repository's CI gate (see docs/CI.md for the full pipeline
+# description):
+#
+#   1. go vet + build
+#   2. the full test suite under the race detector
+#   3. the mpilint sweep over every shipped .pvm model and fixture,
+#      checking each file's expected clean/finding exit code
+#   4. the determinism diff: cmd/repro run twice with the same seed,
+#      serial (-parallel=1) and at the default worker count — any byte
+#      of divergence fails
+#   5. the benchmark-regression gate against BENCH_baseline.json
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./...
-go run ./cmd/mpilint examples/jacobi/jacobi.pvm
+make lint
+make determinism
+make bench-check

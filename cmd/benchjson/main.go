@@ -1,0 +1,346 @@
+// Command benchjson runs a reduced-density version of every figure
+// experiment and writes the headline metrics to a JSON file — the
+// repository's benchmark ledger. A second mode compares two such files
+// and fails on regression, which is the `make bench-check` CI gate.
+//
+// Usage:
+//
+//	benchjson -out BENCH.json [-seed S] [-parallel W]
+//	benchjson -check -current BENCH.json -baseline BENCH_baseline.json [-tol 0.15] [-dtol 0.05]
+//
+// Two metric classes live in the file:
+//
+//   - Figure metrics (everything not ending in _wall_s) are
+//     seed-deterministic model outputs — the quantities EXPERIMENTS.md
+//     compares against the paper. They drift only when the simulation
+//     itself changes, so -check holds them to the tight -dtol bound.
+//   - Wall-clock metrics (*_wall_s) measure how long each figure took.
+//     Before comparing, -check divides them by the run's own
+//     calibration_wall_s — a fixed pure-arithmetic spin measured in the
+//     same process — so a slower CI machine cancels out and only a
+//     slowdown of the simulator itself trips the -tol (default 15%)
+//     regression bound. Speedups never fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/mpibench"
+)
+
+// File is the on-disk schema of BENCH.json.
+type File struct {
+	Schema  int                `json:"schema"`
+	Go      string             `json:"go"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH.json", "file to write metrics to")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	check := fs.Bool("check", false, "compare -current against -baseline instead of running")
+	current := fs.String("current", "BENCH.json", "current metrics file for -check")
+	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline metrics file for -check")
+	tol := fs.Float64("tol", 0.15, "allowed relative wall-clock regression")
+	dtol := fs.Float64("dtol", 0.05, "allowed relative drift of deterministic figure metrics")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *check {
+		return runCheck(*current, *baseline, *tol, *dtol)
+	}
+	f, err := measure(*seed, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := writeFile(*out, f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Printf("benchjson: wrote %d metrics to %s\n", len(f.Metrics), *out)
+	return 0
+}
+
+// benchParams mirrors the density bench_test.go uses: fast enough for
+// every CI run while preserving each figure's headline feature.
+func benchParams(seed uint64, workers int) experiments.Params {
+	p := experiments.Quick()
+	p.Repetitions = 60
+	p.Iterations = 200
+	p.EvalRuns = 3
+	p.Seed = seed
+	p.Workers = workers
+	return p
+}
+
+// calibrate measures a fixed amount of pure arithmetic. Wall metrics are
+// compared as multiples of this, so machine speed divides out of the
+// regression check while simulator slowdowns do not.
+func calibrate() float64 {
+	start := time.Now()
+	x := uint64(0x9e3779b97f4a7c15)
+	var sink uint64
+	for i := 0; i < 200_000_000; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		sink ^= z ^ (z >> 31)
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprintln(os.Stderr, "")
+	}
+	return time.Since(start).Seconds()
+}
+
+func measure(seed uint64, workers int) (*File, error) {
+	cfg := cluster.Perseus()
+	p := benchParams(seed, workers)
+	m := map[string]float64{"calibration_wall_s": calibrate()}
+
+	timed := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		m[name+"_wall_s"] = time.Since(start).Seconds()
+		return nil
+	}
+
+	curveAt := func(curves []experiments.Curve, label string, size int) float64 {
+		for _, c := range curves {
+			if c.Label != label {
+				continue
+			}
+			for i, s := range c.Sizes {
+				if s == size {
+					return c.Micros[i]
+				}
+			}
+		}
+		return math.NaN()
+	}
+
+	if err := timed("fig1", func() error {
+		curves, err := experiments.Figure1(cfg, p)
+		if err != nil {
+			return err
+		}
+		m["fig1_contention_ratio_1KB"] = curveAt(curves, "64x1", 1024) / curveAt(curves, "2x1", 1024)
+		m["fig1_us_per_op_2x1_1KB"] = curveAt(curves, "2x1", 1024)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("fig2", func() error {
+		curves, err := experiments.Figure2(cfg, p)
+		if err != nil {
+			return err
+		}
+		t2 := curveAt(curves, "2x1", 16384)
+		m["fig2_goodput_2x1_16KB_mbit"] = 16384 * 8 / (t2 / 1e6) / 1e6
+		m["fig2_saturation_ratio_64x1_16KB"] = curveAt(curves, "64x1", 16384) / curveAt(curves, "8x1", 16384)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("fig3", func() error {
+		pdfs, err := experiments.Figure3(cfg, p)
+		if err != nil {
+			return err
+		}
+		for _, pdf := range pdfs {
+			if pdf.Size == 1024 {
+				m["fig3_rel_spread_64x2_1KB"] = (pdf.Mean - pdf.Min) / pdf.Mean
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("fig4", func() error {
+		pdfs, err := experiments.Figure4(cfg, p)
+		if err != nil {
+			return err
+		}
+		for _, pdf := range pdfs {
+			if pdf.Size == 16384 {
+				m["fig4_tail_ratio_64x1_16KB"] = pdf.Max / pdf.Mean
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("fig6", func() error {
+		p6 := p
+		p6.MaxNodes = 32
+		res, err := experiments.Figure6(cfg, p6, nil)
+		if err != nil {
+			return err
+		}
+		measured, _ := res.SeriesByLabel("measured")
+		dist, _ := res.SeriesByLabel("pevpm distributions")
+		worst := 0.0
+		for i := range measured.Procs {
+			if e := math.Abs(dist.Speedups[i]-measured.Speedups[i]) / measured.Speedups[i]; e > worst {
+				worst = e
+			}
+		}
+		m["fig6_worst_dist_error_pct"] = worst * 100
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timed("collectives", func() error {
+		pc := p
+		pc.MaxNodes = 16
+		rows, err := experiments.CollectiveTable(cfg, pc, 1024)
+		if err != nil {
+			return err
+		}
+		var b4, b16 float64
+		for _, r := range rows {
+			if r.Op == mpibench.OpBcast && r.Procs == 4 {
+				b4 = r.MeanUs
+			}
+			if r.Op == mpibench.OpBcast && r.Procs == 16 {
+				b16 = r.MeanUs
+			}
+		}
+		m["collective_bcast_4to16_growth"] = b16 / b4
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for name, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("metric %s is %v", name, v)
+		}
+	}
+	return &File{Schema: 1, Go: runtime.Version(), Metrics: m}, nil
+}
+
+func writeFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Metrics) == 0 {
+		return nil, fmt.Errorf("%s: no metrics", path)
+	}
+	return &f, nil
+}
+
+func isWall(name string) bool {
+	const suffix = "_wall_s"
+	return len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+func runCheck(currentPath, baselinePath string, tol, dtol float64) int {
+	cur, err := readFile(currentPath)
+	if err == nil {
+		var base *File
+		base, err = readFile(baselinePath)
+		if err == nil {
+			return compare(cur, base, tol, dtol)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	return 2
+}
+
+func compare(cur, base *File, tol, dtol float64) int {
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	curCal, baseCal := cur.Metrics["calibration_wall_s"], base.Metrics["calibration_wall_s"]
+	if curCal <= 0 || baseCal <= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: missing calibration_wall_s; refresh both files")
+		return 2
+	}
+
+	failures := 0
+	for _, name := range names {
+		b := base.Metrics[name]
+		c, ok := cur.Metrics[name]
+		if !ok {
+			fmt.Printf("FAIL %-34s missing from current run (refresh the baseline?)\n", name)
+			failures++
+			continue
+		}
+		switch {
+		case name == "calibration_wall_s":
+			fmt.Printf("ok   %-34s %10.3f vs %10.3f (machine-speed reference)\n", name, c, b)
+		case isWall(name):
+			// Normalise by each run's own calibration so only simulator
+			// slowdowns — not slower CI hardware — count as regressions.
+			cn, bn := c/curCal, b/baseCal
+			ratio := cn / bn
+			status := "ok  "
+			if ratio > 1+tol {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s %-34s %10.3fx calibration vs %10.3fx (%+.1f%%, limit +%.0f%%)\n",
+				status, name, cn, bn, (ratio-1)*100, tol*100)
+		default:
+			drift := math.Abs(c-b) / math.Abs(b)
+			status := "ok  "
+			if drift > dtol {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s %-34s %10.4f vs %10.4f (drift %.2f%%, limit %.0f%%)\n",
+				status, name, c, b, drift*100, dtol*100)
+		}
+	}
+	for name := range cur.Metrics {
+		if _, ok := base.Metrics[name]; !ok {
+			fmt.Printf("FAIL %-34s new metric not in baseline (refresh BENCH_baseline.json)\n", name)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchjson: %d metric(s) regressed or drifted — see docs/CI.md for how to refresh the baseline\n", failures)
+		return 1
+	}
+	fmt.Printf("benchjson: all %d metrics within bounds\n", len(names))
+	return 0
+}

@@ -1,0 +1,76 @@
+package main
+
+import "testing"
+
+func bench(metrics map[string]float64) *File {
+	return &File{Schema: 1, Metrics: metrics}
+}
+
+func TestCompareWithinBounds(t *testing.T) {
+	base := bench(map[string]float64{
+		"calibration_wall_s": 1.0,
+		"fig1_wall_s":        2.0,
+		"fig1_ratio":         1.70,
+	})
+	cur := bench(map[string]float64{
+		"calibration_wall_s": 2.0, // machine half as fast...
+		"fig1_wall_s":        4.1, // ...wall scales with it (+2.5% normalised)
+		"fig1_ratio":         1.72,
+	})
+	if got := compare(cur, base, 0.15, 0.05); got != 0 {
+		t.Errorf("compare = %d, want 0", got)
+	}
+}
+
+func TestCompareWallRegressionFails(t *testing.T) {
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.5})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("25%% wall regression: compare = %d, want 1", got)
+	}
+}
+
+func TestCompareSpeedupPasses(t *testing.T) {
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 0.5})
+	if got := compare(cur, base, 0.15, 0.05); got != 0 {
+		t.Errorf("speedup: compare = %d, want 0", got)
+	}
+}
+
+func TestCompareMetricDriftFails(t *testing.T) {
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.70})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.90})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("12%% drift: compare = %d, want 1", got)
+	}
+}
+
+func TestCompareMissingAndNewMetricsFail(t *testing.T) {
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "gone": 3.0})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "brand_new": 3.0})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("schema mismatch: compare = %d, want 1", got)
+	}
+}
+
+func TestCompareMissingCalibrationIsUsageError(t *testing.T) {
+	base := bench(map[string]float64{"fig1_ratio": 1.70})
+	cur := bench(map[string]float64{"fig1_ratio": 1.70})
+	if got := compare(cur, base, 0.15, 0.05); got != 2 {
+		t.Errorf("no calibration: compare = %d, want 2", got)
+	}
+}
+
+func TestIsWall(t *testing.T) {
+	for name, want := range map[string]bool{
+		"fig1_wall_s":        true,
+		"collectives_wall_s": true,
+		"fig1_ratio":         false,
+		"_wall_s":            false, // bare suffix is not a metric name
+	} {
+		if got := isWall(name); got != want {
+			t.Errorf("isWall(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

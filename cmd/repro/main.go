@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	repro [-fig N] [-full] [-seed S]
+//	repro [-fig N] [-full] [-seed S] [-parallel W]
 //
 // With no -fig flag every figure (1, 2, 3, 4, 6) is produced. -full runs
 // at the paper's sampling density (slower); the default "quick"
 // parameters preserve every qualitative feature.
+//
+// -parallel spreads the independent simulation cells of each figure over
+// W worker goroutines (default 0 = GOMAXPROCS). Output is bit-identical
+// for every worker count — -parallel=1 is the serial escape hatch CI
+// diffs the default against. -timing=false suppresses the wall-clock
+// cost line of Figure 6, leaving only seed-deterministic output.
 package main
 
 import (
@@ -24,6 +30,8 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1,2,3,4,6); 0 = all")
 	full := flag.Bool("full", false, "run at the paper's sampling density")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+	timing := flag.Bool("timing", true, "print the Figure 6 wall-clock cost line (disable for byte-stable output)")
 	collectives := flag.Bool("collectives", false, "also print the collective-operation scaling table (thesis companion data)")
 	flag.Parse()
 
@@ -32,6 +40,7 @@ func main() {
 		params = experiments.Full()
 	}
 	params.Seed = *seed
+	params.Workers = *parallel
 	cfg := cluster.Perseus()
 
 	run := func(n int, f func() error) {
@@ -55,7 +64,7 @@ func main() {
 	run(4, func() error {
 		return printPDFs(4, "MPI_Isend distributions, 64x1, saturation", cfg, params, experiments.Figure4)
 	})
-	run(6, func() error { return printFigure6(cfg, params) })
+	run(6, func() error { return printFigure6(cfg, params, *timing) })
 	if *collectives {
 		if err := printCollectives(cfg, params); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: collectives: %v\n", err)
@@ -140,9 +149,13 @@ func bars(n int) string {
 	return string(out)
 }
 
-func printFigure6(cfg cluster.Config, p experiments.Params) error {
+func printFigure6(cfg cluster.Config, p experiments.Params, timing bool) error {
 	start := time.Now()
-	res, err := experiments.Figure6(cfg, p, func() float64 { return time.Since(start).Seconds() })
+	elapsed := func() float64 { return time.Since(start).Seconds() }
+	if !timing {
+		elapsed = nil // keep the output free of wall-clock-dependent lines
+	}
+	res, err := experiments.Figure6(cfg, p, elapsed)
 	if err != nil {
 		return err
 	}
@@ -160,8 +173,10 @@ func printFigure6(cfg cluster.Config, p experiments.Params) error {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nmodelled processor time: %.1f s; PEVPM evaluation wall time: %.1f s (%.1fx faster)\n",
-		res.ProcessorSeconds, res.EvalSeconds, res.ProcessorSeconds/res.EvalSeconds)
-	fmt.Println("(the paper reports PEVPM simulating 11h15m of processor time in under 10 minutes, 67.5x)")
+	if timing {
+		fmt.Printf("\nmodelled processor time: %.1f s; PEVPM evaluation wall time: %.1f s (%.1fx faster)\n",
+			res.ProcessorSeconds, res.EvalSeconds, res.ProcessorSeconds/res.EvalSeconds)
+		fmt.Println("(the paper reports PEVPM simulating 11h15m of processor time in under 10 minutes, 67.5x)")
+	}
 	return nil
 }

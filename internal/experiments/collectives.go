@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments/sweep"
 	"repro/internal/mpibench"
+	"repro/internal/sim"
 )
 
 // The paper measures MPI_Isend in detail and notes that "detailed
@@ -36,38 +38,49 @@ var CollectiveOps = []mpibench.Op{
 }
 
 // CollectiveTable measures every collective across the node sweep at one
-// payload size (Barrier ignores the size).
+// payload size (Barrier ignores the size). Every (op, node count) row is
+// an independent sweep cell — its own cluster, engine and RNG substream
+// keyed by the row — executed across Params.Workers goroutines and
+// returned in canonical (op-major, node-minor) order.
 func CollectiveTable(cfg cluster.Config, p Params, size int) ([]CollectiveRow, error) {
-	var rows []CollectiveRow
+	nodes := p.nodeSweep()
+	type cell struct {
+		op mpibench.Op
+		n  int
+	}
+	var cells []cell
 	for _, op := range CollectiveOps {
-		for _, n := range p.nodeSweep() {
-			pl, err := cluster.NewBlockPlacement(&cfg, n, 1)
-			if err != nil {
-				return nil, err
-			}
-			res, err := mpibench.Run(cfg, mpibench.Spec{
-				Op:          op,
-				Sizes:       []int{size},
-				Placement:   pl,
-				Repetitions: p.Repetitions,
-				WarmUp:      p.WarmUp,
-				SyncProbes:  p.SyncProbes,
-				Seed:        p.Seed + uint64(n)*13,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %v: %w", op, pl, err)
-			}
-			pt := res.Points[0]
-			rows = append(rows, CollectiveRow{
-				Op:        op,
-				Placement: pl.String(),
-				Procs:     pl.NumProcs(),
-				Size:      pt.Size,
-				MinUs:     pt.Min() * 1e6,
-				MeanUs:    pt.Avg() * 1e6,
-				P99Us:     pt.Hist.Quantile(0.99) * 1e6,
-			})
+		for _, n := range nodes {
+			cells = append(cells, cell{op, n})
 		}
 	}
-	return rows, nil
+	return sweep.Map(p.workers(), len(cells), func(i int) (CollectiveRow, error) {
+		op, n := cells[i].op, cells[i].n
+		pl, err := cluster.NewBlockPlacement(&cfg, n, 1)
+		if err != nil {
+			return CollectiveRow{}, err
+		}
+		res, err := mpibench.Run(cfg, mpibench.Spec{
+			Op:          op,
+			Sizes:       []int{size},
+			Placement:   pl,
+			Repetitions: p.Repetitions,
+			WarmUp:      p.WarmUp,
+			SyncProbes:  p.SyncProbes,
+			Seed:        sim.SubSeed(p.Seed, fmt.Sprintf("collective:%s:%d", op, n)),
+		})
+		if err != nil {
+			return CollectiveRow{}, fmt.Errorf("experiments: %s on %v: %w", op, pl, err)
+		}
+		pt := res.Points[0]
+		return CollectiveRow{
+			Op:        op,
+			Placement: pl.String(),
+			Procs:     pl.NumProcs(),
+			Size:      pt.Size,
+			MinUs:     pt.Min() * 1e6,
+			MeanUs:    pt.Avg() * 1e6,
+			P99Us:     pt.Hist.Quantile(0.99) * 1e6,
+		}, nil
+	})
 }

@@ -8,8 +8,10 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments/sweep"
 	"repro/internal/mpibench"
 	"repro/internal/pevpm"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -24,7 +26,17 @@ type Params struct {
 	Iterations  int // Jacobi iterations (paper: 100000; reduced here)
 	MaxNodes    int // largest n in the n×p sweeps (paper: 64)
 	Seed        uint64
+
+	// Workers bounds how many simulation cells run concurrently. Zero
+	// means GOMAXPROCS; one is the serial escape hatch. Every cell owns
+	// its engine and derives its RNG substream from (Seed, cell key),
+	// and results merge in canonical cell order, so figures are
+	// bit-identical for every worker count.
+	Workers int
 }
+
+// workers resolves the configured worker count.
+func (p Params) workers() int { return sweep.Workers(p.Workers) }
 
 // Quick returns parameters for fast runs (tests, benches).
 func Quick() Params {
@@ -112,6 +124,7 @@ func isendCurves(cfg cluster.Config, p Params, sizes []int, placements []cluster
 		WarmUp:      p.WarmUp,
 		SyncProbes:  p.SyncProbes,
 		Seed:        p.Seed,
+		Workers:     p.workers(),
 	}
 	set, err := mpibench.RunSweep(cfg, spec, placements)
 	if err != nil {
@@ -303,6 +316,7 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		WarmUp:      p.WarmUp,
 		SyncProbes:  p.SyncProbes,
 		Seed:        p.Seed + 77,
+		Workers:     p.workers(),
 	}, dbPls)
 	if err != nil {
 		return nil, err
@@ -323,35 +337,84 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 	for _, label := range Figure6Modes {
 		series[label] = &SpeedupSeries{Label: label}
 	}
-	var processorSeconds float64
 	markStart := 0.0
 	if elapsed != nil {
 		markStart = elapsed()
 	}
 
-	for _, pl := range pls {
-		procs := pl.NumProcs()
-		measured, err := workloads.Execute(cfg, pl, p.Seed+uint64(procs), j.Run)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: executing jacobi on %v: %w", pl, err)
-		}
-		processorSeconds += measured.Makespan.Seconds() * float64(procs)
-		appendPoint(series["measured"], pl.String(), procs, serial/measured.Makespan.Seconds())
-
-		for label, db := range modes {
+	// Enumerate every independent cell of the figure: one measured
+	// execution per placement plus one virtual-machine replication per
+	// (placement, prediction mode, Monte-Carlo rep). Each cell builds
+	// its own engine and derives its RNG substream from (Seed, cell
+	// key), so the sweep below can run them on any number of workers;
+	// the merge walks cells in canonical order, keeping the figure
+	// bit-identical to a serial run.
+	predLabels := Figure6Modes[1:]
+	type cell struct {
+		pi    int
+		label string // "" for the measured execution
+		rep   int
+	}
+	var cells []cell
+	for pi := range pls {
+		cells = append(cells, cell{pi: pi})
+		for _, label := range predLabels {
 			runs := p.EvalRuns
 			if label != "pevpm distributions" {
 				runs = 1 // point-value modes are deterministic
 			}
-			sum, err := pevpm.EvaluateN(prog, pevpm.Options{
-				Procs: procs, DB: db, Seed: p.Seed + uint64(procs),
-				NodeOf: pl.NodeOf,
-			}, runs)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: predicting %v with %s: %w", pl, label, err)
+			for rep := 0; rep < runs; rep++ {
+				cells = append(cells, cell{pi: pi, label: label, rep: rep})
 			}
-			appendPoint(series[label], pl.String(), procs, serial/sum.Mean)
 		}
+	}
+
+	execs := make([]workloads.ExecResult, len(pls))
+	makespans := make([]float64, len(cells))
+	err = sweep.Run(p.workers(), len(cells), func(i int) error {
+		c := cells[i]
+		pl := pls[c.pi]
+		if c.label == "" {
+			res, err := workloads.Execute(cfg, pl,
+				sim.SubSeed(p.Seed, "fig6:measured:"+pl.String()), j.Run)
+			if err != nil {
+				return fmt.Errorf("experiments: executing jacobi on %v: %w", pl, err)
+			}
+			execs[c.pi] = res
+			return nil
+		}
+		rep, err := pevpm.Evaluate(prog, pevpm.Options{
+			Procs: pl.NumProcs(), DB: modes[c.label],
+			Seed:   sim.SubSeed(p.Seed, fmt.Sprintf("fig6:%s:%s:rep%d", c.label, pl, c.rep)),
+			NodeOf: pl.NodeOf,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: predicting %v with %s: %w", pl, c.label, err)
+		}
+		makespans[i] = rep.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var processorSeconds float64
+	for i := 0; i < len(cells); {
+		c := cells[i]
+		pl := pls[c.pi]
+		procs := pl.NumProcs()
+		if c.label == "" {
+			makespan := execs[c.pi].Makespan.Seconds()
+			processorSeconds += makespan * float64(procs)
+			appendPoint(series["measured"], pl.String(), procs, serial/makespan)
+			i++
+			continue
+		}
+		var sum stats.Summary
+		for ; i < len(cells) && cells[i].pi == c.pi && cells[i].label == c.label; i++ {
+			sum.Add(makespans[i])
+		}
+		appendPoint(series[c.label], pl.String(), procs, serial/sum.Mean)
 	}
 
 	out := &Figure6Result{ProcessorSeconds: processorSeconds}

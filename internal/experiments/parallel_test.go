@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// equalityParams is deliberately denser than the bare minimum so the
+// sweep has enough cells to shuffle across workers, but trimmed so the
+// whole serial+parallel double run stays quick.
+func equalityParams(workers int) Params {
+	p := small()
+	p.MaxNodes = 16
+	p.Workers = workers
+	return p
+}
+
+// TestSerialParallelEquality is the tentpole guarantee: every figure is
+// bit-identical between the serial escape hatch (Workers=1) and a
+// many-worker run, because each cell owns its engine and RNG substream
+// and results merge in canonical cell order.
+func TestSerialParallelEquality(t *testing.T) {
+	cfg := cluster.Perseus()
+
+	type variant struct {
+		name string
+		run  func(p Params) (any, error)
+	}
+	variants := []variant{
+		{"Figure1", func(p Params) (any, error) { return Figure1(cfg, p) }},
+		{"Figure2", func(p Params) (any, error) { return Figure2(cfg, p) }},
+		{"Figure3", func(p Params) (any, error) { return Figure3(cfg, p) }},
+		{"Figure4", func(p Params) (any, error) { return Figure4(cfg, p) }},
+		{"Figure6", func(p Params) (any, error) { return Figure6(cfg, p, nil) }},
+		{"CollectiveTable", func(p Params) (any, error) { return CollectiveTable(cfg, p, 1024) }},
+	}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := v.run(equalityParams(1))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			parallel, err := v.run(equalityParams(8))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("Workers=1 and Workers=8 results differ\nserial:   %+v\nparallel: %+v",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelSweepSpeedup measures the wall-clock win from the worker
+// pool on a uniform sweep (the collective table, whose cells are
+// well-balanced). The ≥2x assertion only arms on a machine with enough
+// cores and without the race detector's serialization; elsewhere the
+// measured ratio is logged so CI output still shows it.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cfg := cluster.Perseus()
+	p := small()
+	p.MaxNodes = 32
+
+	timeRun := func(workers int) time.Duration {
+		p := p
+		p.Workers = workers
+		start := time.Now()
+		if _, err := CollectiveTable(cfg, p, 1024); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	serial := timeRun(1)
+	parallel := timeRun(0) // GOMAXPROCS workers
+	ratio := serial.Seconds() / parallel.Seconds()
+	t.Logf("serial %v, parallel %v (%d procs): %.2fx", serial, parallel,
+		runtime.GOMAXPROCS(0), ratio)
+
+	if runtime.GOMAXPROCS(0) >= 4 && !raceEnabled {
+		if ratio < 2 {
+			t.Errorf("parallel sweep only %.2fx faster than serial, want >=2x on %d procs",
+				ratio, runtime.GOMAXPROCS(0))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package sweep is the deterministic parallel execution layer under the
+// experiment pipeline. A sweep enumerates independent simulation cells —
+// one (placement, op) benchmark, one collective row, one PEVPM
+// Monte-Carlo replication — as indexed tasks, executes them across a
+// fixed-size worker pool, and surfaces results in canonical cell order.
+//
+// Determinism is structural, not scheduled: every cell builds its own
+// simulation engine seeded from (root seed, cell key) via sim.SubSeed,
+// writes only to its own result slot, and the merge happens in index
+// order on the caller's goroutine. The outcome is therefore bit-identical
+// for any worker count, including 1 — the serial escape hatch CI diffs
+// against.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: n > 0 is taken as-is,
+// anything else (the "default" zero value) becomes GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes cells 0..n-1 on up to workers goroutines and waits for
+// all of them. Every cell runs exactly once regardless of other cells'
+// failures; the returned error is the lowest-indexed cell's error, so
+// the reported failure does not depend on scheduling. workers <= 1 (or
+// n <= 1) degenerates to an in-order loop on the calling goroutine.
+func Run(workers, n int, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map executes cells 0..n-1 across the pool and returns their results in
+// index order. Like Run, the first (lowest-index) error wins and the
+// result slice is only valid when the error is nil.
+func Map[T any](workers, n int, cell func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := cell(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

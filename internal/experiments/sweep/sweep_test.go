@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapKeepsIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunExecutesEveryCellOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		counts := make([]int32, 257)
+		if err := Run(workers, len(counts), func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunFirstErrorWins checks the reported error is the lowest-indexed
+// cell's, independent of scheduling, and that later cells still run.
+func TestRunFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := Run(workers, 20, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 7 || i == 13 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want cell 7's", workers, err)
+		}
+		if ran != 20 {
+			t.Fatalf("workers=%d: only %d cells ran", workers, ran)
+		}
+	}
+}
+
+func TestMapReturnsNilOnError(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+// TestRunBoundsConcurrency verifies no more than the requested worker
+// count executes cells at once.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int32
+	if err := Run(workers, 64, func(i int) error {
+		n := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ { // widen the overlap window
+			_ = j
+		}
+		atomic.AddInt32(&active, -1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent cells, worker cap is %d", peak, workers)
+	}
+}

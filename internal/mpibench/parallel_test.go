@@ -1,0 +1,41 @@
+package mpibench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestRunSweepWorkersEquality checks that the worker pool changes only
+// wall-clock: the same spec and seed produce byte-identical sweep sets
+// at every worker count, because each placement cell runs on its own
+// engine with a per-cell seed and the set is merged in placement order.
+func TestRunSweepWorkersEquality(t *testing.T) {
+	cfg := cluster.Perseus()
+	pls := []cluster.Placement{
+		place(t, &cfg, 2, 1), place(t, &cfg, 4, 1),
+		place(t, &cfg, 8, 1), place(t, &cfg, 4, 2),
+	}
+
+	encode := func(workers int) []byte {
+		spec := quickSpec(cluster.Placement{}, OpIsend, 64, 1024)
+		spec.Workers = workers
+		set, err := RunSweep(cfg, spec, pls)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := encode(1)
+	for _, workers := range []int{0, 2, 8} {
+		if got := encode(workers); !bytes.Equal(got, serial) {
+			t.Errorf("Workers=%d sweep set differs from serial", workers)
+		}
+	}
+}

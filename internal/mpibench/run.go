@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments/sweep"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -70,6 +71,10 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 
 	run := newRunner(w, clocks, spec, sendStarts, recvEnds, probes)
 	w.Launch(run.program)
+	// Unwind rank goroutines even when the run aborts (deadlock, lint
+	// panic): sweeps execute many engines concurrently and must not
+	// accumulate parked goroutines. After a clean Wait this is a no-op.
+	defer w.Shutdown()
 	if _, err := w.Wait(); err != nil {
 		return nil, fmt.Errorf("mpibench: %s on %s: %w", spec.Op, pl, err)
 	}
@@ -278,18 +283,25 @@ func (run *runner) collective(c *mpi.Comm, si, size, rep int) {
 }
 
 // RunSweep benchmarks one op across several placements, returning a Set
-// (the performance database for PEVPM). Seeds derive from spec.Seed so
-// every placement sees independent randomness.
+// (the performance database for PEVPM). Each placement is an independent
+// sweep cell: it builds its own cluster and engine with a seed derived
+// from (spec.Seed, cell index), and cells execute across spec.Workers
+// goroutines. Results merge into the Set in placement order, so the Set
+// is bit-identical for every worker count. (The additive per-cell seed
+// derivation predates sim.SubSeed and is kept so recorded figure data
+// stays reproducible.)
 func RunSweep(cfg cluster.Config, spec Spec, placements []cluster.Placement) (*Set, error) {
-	set := &Set{Cluster: cfg.Name}
-	for i, pl := range placements {
+	results, err := sweep.Map(spec.sweepWorkers(), len(placements), func(i int) (*Result, error) {
 		s := spec
-		s.Placement = pl
+		s.Placement = placements[i]
 		s.Seed = spec.Seed + uint64(i)*1000003
-		r, err := Run(cfg, s)
-		if err != nil {
-			return nil, err
-		}
+		return Run(cfg, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := &Set{Cluster: cfg.Name}
+	for _, r := range results {
 		set.Add(r)
 	}
 	return set, nil

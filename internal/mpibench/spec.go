@@ -87,6 +87,21 @@ type Spec struct {
 
 	// Seed drives all simulation randomness.
 	Seed uint64
+
+	// Workers is the number of goroutines RunSweep spreads its
+	// placement cells over. Zero or one runs serially; any count
+	// produces bit-identical results because each cell owns its engine
+	// and seed and the merge is in placement order.
+	Workers int
+}
+
+// sweepWorkers resolves Workers for RunSweep: the zero value stays
+// serial so existing single-threaded callers are unaffected.
+func (s Spec) sweepWorkers() int {
+	if s.Workers <= 0 {
+		return 1
+	}
+	return s.Workers
 }
 
 // Defaults fills unset fields with sensible values.

@@ -69,6 +69,7 @@ func NewCollectiveDB(base PerfDB, set *mpibench.Set) (*CollectiveDB, error) {
 		grid := db.grids[op]
 		sort.Slice(grid, func(i, j int) bool { return grid[i].procs < grid[j].procs })
 		db.grids[op] = grid
+		freezeEntries(grid)
 	}
 	return db, nil
 }

@@ -1,0 +1,87 @@
+package pevpm
+
+import (
+	"sync"
+	"testing"
+)
+
+func pingPongProg(iters int) *Program {
+	prog := NewProgram()
+	prog.Params["iters"] = float64(iters)
+	prog.Body = Block{&Loop{Count: Var("iters"), Body: Block{
+		&Runon{
+			Conds: []Expr{MustExpr("procnum == 0"), MustExpr("procnum == 1")},
+			Bodies: []Block{
+				{&Msg{Kind: MsgSend, Size: Num(1024), From: Num(0), To: Num(1)}},
+				{&Msg{Kind: MsgRecv, Size: Num(1024), From: Num(0), To: Num(1)}},
+			},
+		},
+		&Serial{Time: Num(100e-6)},
+	}}}
+	return prog
+}
+
+// TestEvaluateNWorkersEquality checks the Monte-Carlo replications give
+// the exact same summary — bit-identical mean, spread and extremes — no
+// matter how many workers execute them, since each replication derives
+// its own seed and the makespans fold into the summary in replication
+// order.
+func TestEvaluateNWorkersEquality(t *testing.T) {
+	db := LogGPStyleDB(200e-6, 5e6, 16384)
+	prog := pingPongProg(40)
+	opts := Options{Procs: 2, DB: db, Seed: 123}
+
+	want, err := EvaluateN(prog, opts, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := EvaluateNWorkers(prog, opts, 12, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: summary %+v, serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestEvaluateSharedDBConcurrency drives many Evaluate calls through
+// one shared (frozen) empirical database at once — the access pattern
+// parallel figure sweeps produce — and checks each call still matches
+// its serial twin. Run with -race to prove the DB is read-only.
+func TestEvaluateSharedDBConcurrency(t *testing.T) {
+	db := LogGPStyleDB(200e-6, 5e6, 16384)
+	prog := pingPongProg(20)
+
+	const calls = 16
+	want := make([]float64, calls)
+	for i := range want {
+		rep, err := Evaluate(prog, Options{Procs: 2, DB: db, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep.Makespan
+	}
+
+	got := make([]float64, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := Evaluate(prog, Options{Procs: 2, DB: db, Seed: uint64(i + 1)})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			got[i] = rep.Makespan
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("call %d: concurrent makespan %g, serial %g", i, got[i], want[i])
+		}
+	}
+}

@@ -94,7 +94,19 @@ func NewEmpiricalDB(set *mpibench.Set, op mpibench.Op, cfg cluster.Config) (*Emp
 	}
 	sort.Slice(db.grid, func(i, j int) bool { return db.grid[i].procs < db.grid[j].procs })
 	sort.Slice(db.intra, func(i, j int) bool { return db.intra[i].procs < db.intra[j].procs })
+	// Freeze every histogram so sampling is read-only from here on:
+	// concurrent Monte-Carlo evaluations share the database.
+	freezeEntries(db.grid)
+	freezeEntries(db.intra)
 	return db, nil
+}
+
+func freezeEntries(entries []dbEntry) {
+	for _, e := range entries {
+		for _, h := range e.hists {
+			h.Freeze()
+		}
+	}
 }
 
 type entryBysize struct{ e *dbEntry }

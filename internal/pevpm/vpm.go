@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/experiments/sweep"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -621,15 +622,35 @@ func (m *machine) report() *Report {
 // iterations "so that the statistical error in the mean is negligibly
 // small".
 func EvaluateN(prog *Program, opts Options, n int) (stats.Summary, error) {
+	return EvaluateNWorkers(prog, opts, n, 1)
+}
+
+// EvaluateNWorkers is EvaluateN across a worker pool: each replication
+// is an independent cell with its own derived seed and virtual machine.
+// The makespans are folded into the summary in replication order on the
+// calling goroutine, so the result is bit-identical to EvaluateN for
+// every worker count. The program is only read; an *EmpiricalDB (whose
+// histograms are frozen at construction) is safe to share, as is any
+// other database whose Sample is read-only.
+func EvaluateNWorkers(prog *Program, opts Options, n, workers int) (stats.Summary, error) {
 	var sum stats.Summary
-	for i := 0; i < n; i++ {
+	if opts.Trace != nil && workers != 1 {
+		workers = 1 // a shared trace log serialises the replications
+	}
+	makespans, err := sweep.Map(workers, n, func(i int) (float64, error) {
 		o := opts
 		o.Seed = opts.Seed + uint64(i)*7919
 		rep, err := Evaluate(prog, o)
 		if err != nil {
-			return sum, err
+			return 0, err
 		}
-		sum.Add(rep.Makespan)
+		return rep.Makespan, nil
+	})
+	if err != nil {
+		return sum, err
+	}
+	for _, m := range makespans {
+		sum.Add(m)
 	}
 	return sum, nil
 }

@@ -170,10 +170,17 @@ func (p *Proc) checkCurrent(op string) {
 
 // Shutdown unwinds every parked process goroutine. Call it when
 // abandoning a simulation early (e.g. after RunUntil a cutoff) so
-// goroutines do not outlive the engine. The engine must not be Run again.
+// goroutines do not outlive the engine — sweeps that run many engines
+// concurrently rely on this to keep the goroutine count bounded. It is
+// safe to call after a completed run (a no-op then) but must not be
+// called while Run is executing, and the engine must not be Run again.
 func (e *Engine) Shutdown() {
 	for p := range e.procs {
-		if p.state == procSleeping || p.state == procBlocked {
+		// Every non-done process is parked on <-p.resume: sleeping and
+		// blocked ones between park/wake, ready ones either at their
+		// initial resume (spawned, never woken) or waiting on a wake
+		// event that will now never fire. All of them accept sigKill.
+		if p.state != procDone {
 			p.resume <- sigKill
 			<-p.yield
 		}

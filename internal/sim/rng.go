@@ -33,6 +33,37 @@ func streamSeed(seed uint64, name string) uint64 {
 	return splitmix64(&x)
 }
 
+// SubSeed derives the seed of an independent substream from a root seed
+// and a cell key — the splittable scheme parallel experiment sweeps use.
+// Every independent simulation cell (one placement, one Monte-Carlo
+// replication, one collective row) seeds its own engine with
+// SubSeed(root, key), so the draws a cell sees depend only on (root,
+// key), never on which worker ran it or in what order. Distinct keys
+// yield statistically independent streams; the same (root, key) pair is
+// always the same stream.
+func SubSeed(seed uint64, key string) uint64 {
+	// FNV-1a over the key for dispersion across key strings, then two
+	// splitmix64 rounds interleaving the root seed so that near-equal
+	// seeds (1, 2, 3, ...) and near-equal keys ("cell0", "cell1", ...)
+	// both avalanche into unrelated states.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	x := seed
+	s := splitmix64(&x)
+	x = s ^ h
+	s = splitmix64(&x)
+	return splitmix64(&x) ^ s>>32
+}
+
+// NewCellRNG returns the substream for one sweep cell: shorthand for
+// NewRNG(SubSeed(seed, key)).
+func NewCellRNG(seed uint64, key string) *RNG {
+	return NewRNG(SubSeed(seed, key))
+}
+
 // NewRNG returns a stream seeded from seed. Equal seeds give equal streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}

@@ -129,6 +129,14 @@ func (h *Histogram) rebuild() {
 	h.dirty = false
 }
 
+// Freeze builds the memoised cumulative table eagerly so that
+// subsequent read-only queries (Quantile, Sample, CDF, Bins, Mode) never
+// mutate the histogram. A frozen histogram is safe for concurrent
+// sampling from many goroutines — the property parallel PEVPM
+// evaluations rely on — provided nothing Adds or Merges observations
+// afterwards (which would dirty it again).
+func (h *Histogram) Freeze() { h.rebuild() }
+
 // Bins returns the non-empty bins in ascending order with densities
 // normalised so the PDF integrates to one.
 func (h *Histogram) Bins() []Bin {

@@ -35,9 +35,11 @@ func Execute(cfg cluster.Config, pl cluster.Placement, seed uint64, program func
 	net := netsim.New(e, cfg)
 	w := mpi.NewWorld(e, net, pl)
 	w.Launch(program)
+	// Always unwind rank goroutines: concurrent sweep cells must not
+	// leak parked processes. A no-op after a clean run.
+	defer w.Shutdown()
 	end, err := w.Wait()
 	if err != nil {
-		w.Shutdown()
 		return ExecResult{}, err
 	}
 	return ExecResult{

@@ -1,0 +1,44 @@
+#!/bin/sh
+# mpilint regression sweep: every .pvm model shipped in the repository
+# is linted with -werror at the default 8 processes. Shipped example
+# models and testdata fixtures named clean_* must lint clean (exit 0);
+# every other testdata fixture exists to trigger findings and must exit
+# exactly 1. Exit 2 (usage or parse error) always fails the sweep, so a
+# parser regression cannot masquerade as "findings reported".
+set -eu
+
+cd "$(dirname "$0")/.."
+MPILINT="${MPILINT:-go run ./cmd/mpilint}"
+fail=0
+
+check() {
+    f=$1
+    want=$2
+    set +e
+    $MPILINT -werror "$f" > /dev/null 2>&1
+    got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+        echo "lint sweep: FAIL $f: exit $got, want $want" >&2
+        fail=1
+    else
+        echo "lint sweep: ok (exit $got) $f"
+    fi
+}
+
+for f in $(find examples -name '*.pvm' | sort); do
+    check "$f" 0
+done
+
+for f in $(find internal/mpilint/testdata -name '*.pvm' | sort); do
+    case "$(basename "$f")" in
+    clean_*) check "$f" 0 ;;
+    *) check "$f" 1 ;;
+    esac
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint sweep: failures above" >&2
+    exit 1
+fi
+echo "lint sweep: all models behaved as expected"
