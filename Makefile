@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism
+.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults
 
 all: build
 
@@ -46,6 +46,22 @@ determinism:
 	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives > /tmp/repro-parallel.txt
 	diff /tmp/repro-serial.txt /tmp/repro-parallel.txt
 	@echo "determinism: serial and parallel outputs are byte-identical"
+
+# faults-smoke exercises one fault-scenario preset end to end through
+# the CLI (schedule construction, perturbed benches, Jacobi
+# measured-vs-predicted), failing on any error exit.
+faults-smoke:
+	$(GO) run ./cmd/repro -seed 1 -faults flaky-nic > /dev/null
+	@echo "faults-smoke: perturbed sweep ran clean"
+
+# determinism-faults extends the determinism proof to the perturbed
+# sweep: fault windows, perturbed benches and predictions must be
+# byte-identical between -parallel=1 and the default worker count.
+determinism-faults:
+	$(GO) run ./cmd/repro -seed 1 -faults all -parallel=1 > /tmp/repro-faults-serial.txt
+	$(GO) run ./cmd/repro -seed 1 -faults all > /tmp/repro-faults-parallel.txt
+	diff /tmp/repro-faults-serial.txt /tmp/repro-faults-parallel.txt
+	@echo "determinism-faults: serial and parallel perturbed sweeps are byte-identical"
 
 ci:
 	./ci.sh

@@ -9,7 +9,10 @@
 #   4. the determinism diff: cmd/repro run twice with the same seed,
 #      serial (-parallel=1) and at the default worker count — any byte
 #      of divergence fails
-#   5. the benchmark-regression gate against BENCH_baseline.json
+#   5. the fault-injection gates: one scenario preset smoke-run through
+#      the CLI, then the serial-vs-parallel determinism diff of the
+#      full perturbed sweep
+#   6. the benchmark-regression gate against BENCH_baseline.json
 set -eux
 
 go vet ./...
@@ -17,4 +20,6 @@ go build ./...
 go test -race ./...
 make lint
 make determinism
+make faults-smoke
+make determinism-faults
 make bench-check

@@ -270,6 +270,15 @@ func isWall(name string) bool {
 	return len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix
 }
 
+// finite reports whether v is an ordinary number (not NaN or ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// usableCalibration rejects calibrations that would poison every
+// normalised wall ratio: NaN/Inf, non-positive, and denormal-tiny values
+// from a glitched or too-coarse clock. The genuine spin takes whole
+// seconds, so anything under a microsecond is a measurement failure.
+func usableCalibration(v float64) bool { return finite(v) && v >= 1e-6 }
+
 func runCheck(currentPath, baselinePath string, tol, dtol float64) int {
 	cur, err := readFile(currentPath)
 	if err == nil {
@@ -291,8 +300,9 @@ func compare(cur, base *File, tol, dtol float64) int {
 	sort.Strings(names)
 
 	curCal, baseCal := cur.Metrics["calibration_wall_s"], base.Metrics["calibration_wall_s"]
-	if curCal <= 0 || baseCal <= 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: missing calibration_wall_s; refresh both files")
+	if !usableCalibration(curCal) || !usableCalibration(baseCal) {
+		fmt.Fprintf(os.Stderr, "benchjson: unusable calibration_wall_s (current %v, baseline %v); refresh both files\n",
+			curCal, baseCal)
 		return 2
 	}
 
@@ -308,22 +318,30 @@ func compare(cur, base *File, tol, dtol float64) int {
 		switch {
 		case name == "calibration_wall_s":
 			fmt.Printf("ok   %-34s %10.3f vs %10.3f (machine-speed reference)\n", name, c, b)
+		case !finite(c) || !finite(b):
+			// NaN/Inf would sail through every `>` comparison below
+			// (NaN compares false against everything) and pass silently.
+			fmt.Printf("FAIL %-34s non-finite value (current %v, baseline %v)\n", name, c, b)
+			failures++
 		case isWall(name):
 			// Normalise by each run's own calibration so only simulator
 			// slowdowns — not slower CI hardware — count as regressions.
 			cn, bn := c/curCal, b/baseCal
 			ratio := cn / bn
 			status := "ok  "
-			if ratio > 1+tol {
+			if !finite(ratio) || ratio > 1+tol {
 				status = "FAIL"
 				failures++
 			}
 			fmt.Printf("%s %-34s %10.3fx calibration vs %10.3fx (%+.1f%%, limit +%.0f%%)\n",
 				status, name, cn, bn, (ratio-1)*100, tol*100)
 		default:
-			drift := math.Abs(c-b) / math.Abs(b)
+			drift := 0.0
+			if c != b {
+				drift = math.Abs(c-b) / math.Abs(b)
+			}
 			status := "ok  "
-			if drift > dtol {
+			if !finite(drift) || drift > dtol {
 				status = "FAIL"
 				failures++
 			}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func bench(metrics map[string]float64) *File {
 	return &File{Schema: 1, Metrics: metrics}
@@ -59,6 +62,68 @@ func TestCompareMissingCalibrationIsUsageError(t *testing.T) {
 	cur := bench(map[string]float64{"fig1_ratio": 1.70})
 	if got := compare(cur, base, 0.15, 0.05); got != 2 {
 		t.Errorf("no calibration: compare = %d, want 2", got)
+	}
+}
+
+func TestCompareBadCalibrationIsUsageError(t *testing.T) {
+	// Zero, denormal-tiny, negative, NaN and Inf calibrations would all
+	// poison every normalised wall ratio; each must abort the check.
+	for name, cal := range map[string]float64{
+		"zero":     0,
+		"denormal": 5e-324,
+		"tiny":     1e-12,
+		"negative": -1.0,
+		"nan":      math.NaN(),
+		"inf":      math.Inf(1),
+	} {
+		base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
+		cur := bench(map[string]float64{"calibration_wall_s": cal, "fig1_wall_s": 2.0})
+		if got := compare(cur, base, 0.15, 0.05); got != 2 {
+			t.Errorf("%s calibration: compare = %d, want 2", name, got)
+		}
+		// The same applies when the baseline is the poisoned file.
+		if got := compare(base, cur, 0.15, 0.05); got != 2 {
+			t.Errorf("%s baseline calibration: compare = %d, want 2", name, got)
+		}
+	}
+}
+
+func TestCompareNaNMetricFailsLoudly(t *testing.T) {
+	// NaN compares false against every threshold, so without an explicit
+	// guard a NaN metric passes both gates silently.
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.70})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": math.NaN()})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("NaN figure metric: compare = %d, want 1", got)
+	}
+	base = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
+	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.NaN()})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("NaN wall metric: compare = %d, want 1", got)
+	}
+	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.Inf(1)})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("Inf wall metric: compare = %d, want 1", got)
+	}
+	// A NaN in the *baseline* must fail too, not just in the current run.
+	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
+	base = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.NaN()})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("NaN baseline metric: compare = %d, want 1", got)
+	}
+}
+
+func TestCompareZeroBaselineMetric(t *testing.T) {
+	// Equal zeros agree exactly (drift 0); a zero baseline against a
+	// different current value must fail rather than divide to Inf/NaN.
+	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.0})
+	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.0})
+	if got := compare(cur, base, 0.15, 0.05); got != 0 {
+		t.Errorf("equal zeros: compare = %d, want 0", got)
+	}
+	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.1})
+	if got := compare(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("zero baseline, nonzero current: compare = %d, want 1", got)
 	}
 }
 

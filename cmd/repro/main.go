@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-fig N] [-full] [-seed S] [-parallel W]
+//	repro [-fig N] [-full] [-seed S] [-parallel W] [-faults SCENARIO]
 //
 // With no -fig flag every figure (1, 2, 3, 4, 6) is produced. -full runs
 // at the paper's sampling density (slower); the default "quick"
@@ -14,6 +14,10 @@
 // for every worker count — -parallel=1 is the serial escape hatch CI
 // diffs the default against. -timing=false suppresses the wall-clock
 // cost line of Figure 6, leaving only seed-deterministic output.
+//
+// -faults runs the perturbed sweep instead of the figures: benchmarks
+// and the Figure-6 Jacobi comparison re-measured under a fault-scenario
+// preset ("all" reports every preset; see docs/FAULTS.md).
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for sweep cells (0 = GOMAXPROCS, 1 = serial)")
 	timing := flag.Bool("timing", true, "print the Figure 6 wall-clock cost line (disable for byte-stable output)")
 	collectives := flag.Bool("collectives", false, "also print the collective-operation scaling table (thesis companion data)")
+	faultsFlag := flag.String("faults", "", "run the perturbed sweep under a fault scenario preset (\"all\" = every preset)")
 	flag.Parse()
 
 	params := experiments.Quick()
@@ -42,6 +47,14 @@ func main() {
 	params.Seed = *seed
 	params.Workers = *parallel
 	cfg := cluster.Perseus()
+
+	if *faultsFlag != "" {
+		if err := printPerturbed(cfg, params, *faultsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(n int, f func() error) {
 		if *fig != 0 && *fig != n {
@@ -71,6 +84,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printPerturbed runs the perturbed sweep and prints the report for one
+// scenario preset, or for every preset when name is "all". The output
+// contains no wall-clock-dependent lines, so CI can diff serial against
+// parallel runs byte for byte.
+func printPerturbed(cfg cluster.Config, p experiments.Params, name string) error {
+	if name != "all" {
+		names := cluster.ScenarioNames()
+		known := false
+		for _, n := range names {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown scenario %q (have %v, or \"all\")", name, names)
+		}
+	}
+	res, err := experiments.PerturbedSweep(cfg, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Perturbed sweep: measured vs PEVPM-predicted under fault scenarios ==\n")
+	fmt.Printf("fault windows drawn over [0, %.3fs); healthy baseline: measured %.6fs predicted %.6fs error %.1f%%\n",
+		res.Span, res.HealthyMeasured, res.HealthyPredicted, res.HealthyModelError)
+	for _, sc := range res.Scenarios {
+		if name != "all" && sc.Scenario != name {
+			continue
+		}
+		fmt.Printf("\n-- %s --\n", sc.Scenario)
+		for _, r := range sc.Rules {
+			fmt.Printf("   rule: %s\n", r)
+		}
+		fmt.Printf("%-10s%-8s%14s%14s%12s%12s%9s%8s\n",
+			"op", "bytes", "healthy-mean", "fault-mean", "healthy-max", "fault-max", "retries", "drops")
+		for _, row := range sc.Bench {
+			fmt.Printf("%-10s%-8d%13.1fµ%13.1fµ%11.1fµ%11.1fµ%9d%8d\n",
+				row.Op, row.Size, row.HealthyMeanUs, row.FaultMeanUs,
+				row.HealthyMaxUs, row.FaultMaxUs, row.Retries, row.FaultDrops)
+		}
+		fmt.Printf("jacobi: measured %.6fs predicted %.6fs model error %.1f%%\n",
+			sc.MeasuredMakespan, sc.PredictedMakespan, sc.ModelErrorPct)
+	}
+	return nil
 }
 
 func printCollectives(cfg cluster.Config, p experiments.Params) error {

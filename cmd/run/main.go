@@ -8,6 +8,11 @@
 //	run -app jacobi -config 8x1 -gantt
 //	run -app taskfarm -config 16x1 -chrome-trace farm.json
 //	run -app fft -machine myrinet -config 16x1
+//	run -app jacobi -config 4x1 -faults flaky-nic -chrome-trace j.json
+//
+// -faults injects a scenario preset (docs/FAULTS.md) retargeted onto
+// the job's physical nodes; the Chrome export then shows the fault
+// windows on their own track above the rank timelines.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -32,6 +38,8 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII utilisation timeline")
 	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file")
 	block := flag.Bool("block-placement", false, "use physically contiguous nodes instead of scheduler scatter")
+	faultsFlag := flag.String("faults", "", "inject a fault-scenario preset onto the job's nodes (see docs/FAULTS.md)")
+	faultsSpan := flag.Float64("faults-span", 0.5, "seconds the fault windows are drawn over")
 	flag.Parse()
 
 	var cfg cluster.Config
@@ -76,11 +84,28 @@ func main() {
 		fatal(fmt.Errorf("unknown app %q", *app))
 	}
 
+	var sched *faults.Schedule
+	if *faultsFlag != "" {
+		s, err := cluster.Scenario(*faultsFlag, *seed, pl.NodeCount, *faultsSpan)
+		if err != nil {
+			fatal(err)
+		}
+		retargetNodes(s, pl)
+		sched = s
+	}
+
 	e := sim.NewEngine(*seed)
 	net := netsim.New(e, cfg)
 	w := mpi.NewWorld(e, net, pl)
 	tl := trace.NewLog(2_000_000)
 	w.SetTrace(tl)
+	if sched != nil {
+		w.SetFaults(sched)
+		fmt.Printf("fault scenario %s over [0, %.2fs):\n", sched.Name, *faultsSpan)
+		for _, r := range sched.Rules {
+			fmt.Printf("  %s\n", r.String())
+		}
+	}
 	w.Launch(program)
 	end, err := w.Wait()
 	if err != nil {
@@ -91,6 +116,11 @@ func main() {
 	st := net.Stats()
 	fmt.Printf("network: %d transfers (%d intra-node, %d cross-switch), %d retransmissions, %.1f MB on the wire\n",
 		st.Transfers, st.IntraNode, st.CrossSwitch, st.Retries, float64(st.WireBytes)/1e6)
+	if sched != nil {
+		to := w.Timeouts()
+		fmt.Printf("faults: %d fault-attributed drops; %d messages hit a timeout (worst stretch %v)\n",
+			st.FaultDrops, to.Messages, to.Worst)
+	}
 	u := net.UtilizationSince(0)
 	fmt.Printf("busiest: NIC %.0f%%, fabric %.0f%%, backplane segment %.0f%%\n",
 		u.BusiestNICTx*100, u.BusiestFabric*100, u.BusiestSegment*100)
@@ -118,6 +148,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (load in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+}
+
+// retargetNodes maps node-targeted rules from the logical node indices
+// cluster.Scenario draws onto the physical nodes the placement actually
+// occupies, so scenarios hit scattered jobs too. Backplane rules target
+// stacking segments, not nodes, and AllTargets stays universal.
+func retargetNodes(s *faults.Schedule, pl cluster.Placement) {
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		if r.Kind == faults.BackplaneDegrade || r.Target == faults.AllTargets {
+			continue
+		}
+		r.Target = pl.NodeOf(r.Target * pl.PerNode)
 	}
 }
 

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// Scenario presets: named fault schedules for the simulated cluster.
+// Each preset samples its windows from a sim.SubSeed substream keyed by
+// the scenario name, so the same (seed, name, span) triple always yields
+// the same schedule — perturbed sweeps stay bit-reproducible regardless
+// of worker count or evaluation order.
+
+// scenarioBuilders maps preset names to their constructors. Node and
+// segment targets are drawn from the same substream as the windows, so
+// a preset is a single deterministic function of (seed, span).
+var scenarioBuilders = map[string]func(rng *sim.RNG, nodes int, span float64) []faults.Rule{
+	// degraded-uplink: one node's NIC renegotiates to a fraction of its
+	// nominal rate for most of the run — the classic half-duplex or
+	// failing-transceiver uplink.
+	"degraded-uplink": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
+		node := rng.Intn(nodes)
+		w := faults.Windows(rng, 1, span, 0.6*span, 0.9*span)
+		return []faults.Rule{{
+			Kind: faults.LinkDegrade, Start: w[0][0], End: w[0][1],
+			Target: node, Severity: 0.1,
+		}}
+	},
+	// noisy-node: OS-noise bursts triple one node's host CPU costs in
+	// several short windows (daemon wakeups, page-cache flushes).
+	"noisy-node": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
+		node := rng.Intn(nodes)
+		var rules []faults.Rule
+		for _, w := range faults.Windows(rng, 4, span, 0.05*span, 0.15*span) {
+			rules = append(rules, faults.Rule{
+				Kind: faults.NodeSlow, Start: w[0], End: w[1],
+				Target: node, Severity: 3,
+			})
+		}
+		return rules
+	},
+	// flaky-nic: one node's NIC goes dark in short outage windows; every
+	// transfer touching it rides the TCP retransmission path.
+	"flaky-nic": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
+		node := rng.Intn(nodes)
+		var rules []faults.Rule
+		for _, w := range faults.Windows(rng, 3, span, 0.02*span, 0.08*span) {
+			rules = append(rules, faults.Rule{
+				Kind: faults.NICOutage, Start: w[0], End: w[1], Target: node,
+			})
+		}
+		return rules
+	},
+	// lossy-links: a cluster-wide elevated drop probability window — the
+	// shape of a congested or misconfigured switch dropping frames.
+	"lossy-links": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
+		w := faults.Windows(rng, 1, span, 0.3*span, 0.6*span)
+		return []faults.Rule{{
+			Kind: faults.DropBoost, Start: w[0][0], End: w[0][1],
+			Target: faults.AllTargets, Severity: 0.02,
+		}}
+	},
+	// congested-backplane: the first stacking segment loses most of its
+	// capacity (failed matrix-card lane), squeezing cross-switch traffic.
+	"congested-backplane": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
+		w := faults.Windows(rng, 1, span, 0.5*span, 0.8*span)
+		return []faults.Rule{{
+			Kind: faults.BackplaneDegrade, Start: w[0][0], End: w[0][1],
+			Target: 0, Severity: 0.25,
+		}}
+	},
+}
+
+// ScenarioNames lists the available fault-scenario presets in sorted
+// order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarioBuilders))
+	for n := range scenarioBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenario builds the named preset's fault schedule for a cluster with
+// the given node count, sampling windows and targets from the substream
+// sim.SubSeed(seed, "faults/"+name) over a run of span simulated
+// seconds. Unknown names return an error listing the presets.
+func Scenario(name string, seed uint64, nodes int, span float64) (*faults.Schedule, error) {
+	build, ok := scenarioBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown fault scenario %q (have %v)", name, ScenarioNames())
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: scenario %q needs nodes > 0, got %d", name, nodes)
+	}
+	if span <= 0 {
+		return nil, fmt.Errorf("cluster: scenario %q needs span > 0, got %v", name, span)
+	}
+	rng := sim.NewCellRNG(seed, "faults/"+name)
+	s := &faults.Schedule{Name: name, Rules: build(rng, nodes, span)}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: scenario %q: %w", name, err)
+	}
+	return s, nil
+}

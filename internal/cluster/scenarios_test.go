@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestScenarioPresetsValidAndDeterministic(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 5 {
+		t.Fatalf("want >= 5 presets, have %v", names)
+	}
+	for _, name := range names {
+		a, err := Scenario(name, 7, 16, 2.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Empty() {
+			t.Errorf("%s: empty schedule", name)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		b, err := Scenario(name, 7, 16, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different schedule:\n%v\n%v", name, a.Rules, b.Rules)
+		}
+		c, err := Scenario(name, 8, 16, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Rules, c.Rules) {
+			t.Errorf("%s: different seeds produced identical rules", name)
+		}
+		for _, r := range a.Rules {
+			if r.Target >= 16 {
+				t.Errorf("%s: target %d out of range for 16 nodes", name, r.Target)
+			}
+		}
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	if _, err := Scenario("no-such-thing", 1, 4, 1.0); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+	if _, err := Scenario("noisy-node", 1, 0, 1.0); err == nil {
+		t.Fatal("want error for zero nodes")
+	}
+	if _, err := Scenario("noisy-node", 1, 4, 0); err == nil {
+		t.Fatal("want error for zero span")
+	}
+}
+
+func TestScenarioKindsCovered(t *testing.T) {
+	// Between them the presets must exercise every fault kind.
+	seen := map[faults.Kind]bool{}
+	for _, name := range ScenarioNames() {
+		s, err := Scenario(name, 3, 8, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range s.Rules {
+			seen[r.Kind] = true
+		}
+	}
+	for _, k := range []faults.Kind{
+		faults.LinkDegrade, faults.DropBoost, faults.NodeSlow,
+		faults.NICOutage, faults.BackplaneDegrade,
+	} {
+		if !seen[k] {
+			t.Errorf("no preset exercises %v", k)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// perturbedParams keeps the perturbed sweep fast enough for unit tests
+// while still running every scenario end to end.
+func perturbedParams(workers int) Params {
+	p := Quick()
+	p.Repetitions = 20
+	p.WarmUp = 4
+	p.SyncProbes = 8
+	p.EvalRuns = 2
+	p.Iterations = 60
+	p.Workers = workers
+	return p
+}
+
+func TestPerturbedSweepCoversEveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario sweep is slow")
+	}
+	cfg := cluster.Perseus()
+	res, err := PerturbedSweep(cfg, perturbedParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cluster.ScenarioNames()
+	if len(res.Scenarios) != len(names) {
+		t.Fatalf("report covers %d scenarios, want %d", len(res.Scenarios), len(names))
+	}
+	if res.HealthyMeasured <= 0 || res.HealthyPredicted <= 0 {
+		t.Fatalf("healthy baseline empty: %+v", res)
+	}
+	sawFaultDrops := false
+	for i, sc := range res.Scenarios {
+		if sc.Scenario != names[i] {
+			t.Errorf("scenario %d = %q, want %q (canonical order)", i, sc.Scenario, names[i])
+		}
+		if len(sc.Rules) == 0 {
+			t.Errorf("%s: no rules in report", sc.Scenario)
+		}
+		if len(sc.Bench) != 3 {
+			t.Errorf("%s: %d bench rows, want 3", sc.Scenario, len(sc.Bench))
+		}
+		for _, row := range sc.Bench {
+			if row.HealthyMeanUs <= 0 || row.FaultMeanUs <= 0 {
+				t.Errorf("%s %s %dB: empty distribution %+v", sc.Scenario, row.Op, row.Size, row)
+			}
+			if row.FaultDrops > 0 {
+				sawFaultDrops = true
+			}
+		}
+		if sc.MeasuredMakespan <= 0 || sc.PredictedMakespan <= 0 {
+			t.Errorf("%s: makespans %+v", sc.Scenario, sc)
+		}
+	}
+	if !sawFaultDrops {
+		t.Error("no scenario produced fault-attributed drops — injection not reaching the benches")
+	}
+}
+
+// TestPerturbedSweepDeterministicAcrossWorkers is the acceptance bar:
+// the same seed must produce a byte-identical report serially and under
+// a worker pool.
+func TestPerturbedSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	cfg := cluster.Perseus()
+	encode := func(workers int) []byte {
+		res, err := PerturbedSweep(cfg, perturbedParams(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := encode(1)
+	parallel := encode(4)
+	if string(serial) != string(parallel) {
+		t.Fatalf("perturbed sweep differs between workers=1 and workers=4:\n%s\nvs\n%s", serial, parallel)
+	}
+}

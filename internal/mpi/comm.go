@@ -75,6 +75,9 @@ func (c *Comm) hostCost(base float64, bytes int) {
 	if cfg.SpikeProb > 0 && c.w.hosts.Bool(cfg.SpikeProb) {
 		d += cfg.SpikeMin + (cfg.SpikeMax-cfg.SpikeMin)*c.w.hosts.Float64()
 	}
+	// NodeSlow faults stretch host costs by the factor active when the
+	// call starts (a window closing mid-call keeps the stretched cost).
+	d *= c.w.slowFactor(c.rank)
 	c.proc.Sleep(sim.DurationFromSeconds(d))
 }
 
@@ -83,7 +86,8 @@ func (c *Comm) hostCost(base float64, bytes int) {
 // execution-side counterpart of PEVPM's Serial directive.
 func (c *Comm) Compute(seconds float64) {
 	c.w.rec(c.rank, trace.ComputeStart, -1, 0, 0, "")
-	c.proc.Sleep(sim.DurationFromSeconds(c.w.compute.Duration(seconds, c.w.cpu)))
+	d := c.w.compute.Duration(seconds, c.w.cpu) * c.w.slowFactor(c.rank)
+	c.proc.Sleep(sim.DurationFromSeconds(d))
 	c.w.rec(c.rank, trace.ComputeEnd, -1, 0, 0, "")
 }
 

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestNodeSlowStretchesComputeAndOverheads(t *testing.T) {
+	run := func(sched *faults.Schedule) sim.Time {
+		w := quietWorld(t, 2, 1, 1)
+		if sched != nil {
+			w.SetFaults(sched)
+		}
+		w.Launch(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Compute(0.01)
+				c.Send(1, 0, 1024)
+			} else {
+				c.Recv(0, 0)
+			}
+		})
+		end, err := w.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	healthy := run(nil)
+	slowed := run(&faults.Schedule{Name: "noisy", Rules: []faults.Rule{{
+		Kind: faults.NodeSlow, Start: 0, End: sim.TimeFromSeconds(60),
+		Target: 0, Severity: 3,
+	}}})
+	// Rank 0's 10ms compute segment dominates the run; tripling its node's
+	// CPU costs must roughly triple the finish time.
+	if got, want := slowed.Seconds(), healthy.Seconds()*2; got < want {
+		t.Errorf("slowed run %.4fs, want > %.4fs (healthy %.4fs ×2)", got, want, healthy.Seconds())
+	}
+}
+
+func TestTimeoutSurfacingUnderOutage(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	l := trace.NewLog(0)
+	w.SetTrace(l)
+	// Rank 1's NIC is down for the first 0.3s: rank 0's eager send gets
+	// dropped and retried until the window closes. (The scattered default
+	// placement puts rank 1 on a far node, so resolve it via NodeOf.)
+	w.SetFaults(&faults.Schedule{Name: "flaky", Rules: []faults.Rule{{
+		Kind: faults.NICOutage, Start: 0, End: sim.TimeFromSeconds(0.3),
+		Target: w.Placement().NodeOf(1),
+	}}})
+	w.Launch(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, 512)
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ts := w.Timeouts()
+	if ts.Messages == 0 || ts.Retries == 0 {
+		t.Fatalf("Timeouts = %+v, want retransmissions surfaced", ts)
+	}
+	if ts.Worst < sim.DurationFromSeconds(0.2) {
+		t.Errorf("Worst = %v, want at least one RTO (0.2s)", ts.Worst)
+	}
+	retriesTraced := 0
+	for _, ev := range l.Events() {
+		if ev.Kind == trace.NetRetry {
+			retriesTraced++
+			if ev.Rank != 0 || ev.Peer != 1 {
+				t.Errorf("NetRetry on rank %d peer %d, want 0->1", ev.Rank, ev.Peer)
+			}
+			if ev.Tag <= 0 {
+				t.Errorf("NetRetry carries retry count %d, want > 0", ev.Tag)
+			}
+		}
+	}
+	if retriesTraced == 0 {
+		t.Error("no NetRetry events in the trace")
+	}
+	if fd := w.Network().Stats().FaultDrops; fd == 0 {
+		t.Error("outage produced no fault-attributed drops")
+	}
+}
+
+// TestWorldEmptyScheduleBitIdentical: installing an empty schedule at the
+// World level must not move a single timestamp even with all noise
+// models on.
+func TestWorldEmptyScheduleBitIdentical(t *testing.T) {
+	run := func(install bool) []sim.Time {
+		w := worldWith(t, cluster.Perseus(), 4, 2, 17)
+		if install {
+			w.SetFaults(&faults.Schedule{Name: "empty"})
+		}
+		w.Launch(func(c *Comm) {
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			for i := 0; i < 5; i++ {
+				c.Compute(0.0002)
+				c.Sendrecv(next, 1, 2048, prev, 1)
+			}
+			c.Barrier()
+		})
+		if _, err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return w.FinishTimes()
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d finished at %v vs %v — empty schedule changed the run", i, a[i], b[i])
+		}
+	}
+}

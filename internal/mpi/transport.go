@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // packetKind discriminates the traffic the MPICH/TCP transport produces.
@@ -76,7 +77,18 @@ func (w *World) sendPacket(src, dst int, kind packetKind, bytes int, env *envelo
 	}
 	pkt := &packet{kind: kind, env: env, id: id}
 	pkt.seq = w.seqCounter(key)
-	w.net.Transfer(w.place.NodeOf(src), w.place.NodeOf(dst), bytes, func(netsim.TransferStats) {
+	w.net.Transfer(w.place.NodeOf(src), w.place.NodeOf(dst), bytes, func(st netsim.TransferStats) {
+		// Surface retransmission timeouts: they are invisible to the MPI
+		// program (TCP retries under the covers) but they are exactly the
+		// outliers the paper's distribution tails are made of.
+		if st.Retries > 0 {
+			w.timeouts.Messages++
+			w.timeouts.Retries += st.Retries
+			if d := st.Delivered.Sub(st.Sent); d > w.timeouts.Worst {
+				w.timeouts.Worst = d
+			}
+			w.rec(src, trace.NetRetry, dst, st.Retries, bytes, "")
+		}
 		w.arrive(key, pkt)
 	})
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -39,6 +40,20 @@ type World struct {
 	// lint, when non-nil, shadows user-level requests and messages and
 	// reports communication left dangling (see EnableLint).
 	lint *Linter
+
+	// sched is the active fault schedule; NodeSlow rules stretch host CPU
+	// costs here while the network kinds act inside netsim.
+	sched *faults.Schedule
+
+	// tracedSched/tracedLog remember which (schedule, log) pairing already
+	// had its fault windows recorded, so SetTrace/SetFaults can be called
+	// in either order without duplicating the Chrome fault track.
+	tracedSched *faults.Schedule
+	tracedLog   *trace.Log
+
+	// timeouts aggregates TCP retransmission timeouts the job's transfers
+	// suffered, surfacing the tail events the paper attributes to RTO.
+	timeouts TimeoutStats
 
 	nextSendID uint64
 	sendReqs   map[uint64]*Request
@@ -82,10 +97,61 @@ func NewWorld(e *sim.Engine, net *netsim.Network, place cluster.Placement) *Worl
 // SetComputeModel overrides the serial-segment cost model.
 func (w *World) SetComputeModel(m cluster.ComputeModel) { w.compute = m }
 
+// SetFaults installs a fault schedule for the whole stack: NodeSlow
+// rules apply to this job's host CPU costs and compute segments, and the
+// schedule is forwarded to the network for the link/drop/outage/
+// backplane kinds. Pass nil to restore the healthy cluster.
+func (w *World) SetFaults(s *faults.Schedule) {
+	w.sched = s
+	w.net.SetFaults(s)
+	w.recordFaultWindows()
+}
+
+// Faults returns the active fault schedule (nil when healthy).
+func (w *World) Faults() *faults.Schedule { return w.sched }
+
+// TimeoutStats summarises the TCP retransmission timeouts a job's
+// transfers suffered — the mechanism behind the extreme outliers in the
+// paper's distribution tails.
+type TimeoutStats struct {
+	Messages int          // transfers that needed at least one retransmission
+	Retries  int          // total retransmissions across those transfers
+	Worst    sim.Duration // longest sent-to-delivered span among them
+}
+
+// Timeouts returns the retransmission summary accumulated so far.
+func (w *World) Timeouts() TimeoutStats { return w.timeouts }
+
+// slowFactor is the active NodeSlow multiplier for a rank's node.
+func (w *World) slowFactor(rank int) float64 {
+	if w.sched.Empty() {
+		return 1
+	}
+	return w.sched.SlowFactor(w.place.NodeOf(rank), w.e.Now())
+}
+
 // SetTrace attaches a timeline recorder; pass nil to disable. Only
 // user-level activity is recorded (collectives appear as brackets, not
-// as their internal messages).
-func (w *World) SetTrace(l *trace.Log) { w.tracer = l }
+// as their internal messages). If a fault schedule is (or later
+// becomes) active, its windows are recorded too, so Chrome exports
+// draw them on their own track.
+func (w *World) SetTrace(l *trace.Log) {
+	w.tracer = l
+	w.recordFaultWindows()
+}
+
+// recordFaultWindows emits the schedule's fault windows onto the trace
+// once per (schedule, log) pairing.
+func (w *World) recordFaultWindows() {
+	if w.tracer == nil || w.sched.Empty() {
+		return
+	}
+	if w.tracedSched == w.sched && w.tracedLog == w.tracer {
+		return
+	}
+	w.tracedSched, w.tracedLog = w.sched, w.tracer
+	w.sched.Record(w.tracer)
+}
 
 // rec appends a trace event if tracing is enabled.
 func (w *World) rec(rank int, kind trace.Kind, peer, tag, size int, note string) {

@@ -45,6 +45,14 @@ type Result struct {
 	SyncResidual float64 `json:"sync_residual"`
 	// Samples is the number of individual timings per size.
 	Samples uint64 `json:"samples"`
+
+	// Scenario names the fault schedule the run executed under (empty
+	// for the healthy cluster); Retries and FaultDrops carry the
+	// network's retransmission and fault-attributed drop counters so
+	// perturbed results explain their own tails.
+	Scenario   string `json:"scenario,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
+	FaultDrops uint64 `json:"fault_drops,omitempty"`
 }
 
 // PointFor returns the distribution for an exact message size.

@@ -44,6 +44,9 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	net := netsim.New(e, cfg)
 	w := mpi.NewWorld(e, net, spec.Placement)
 	w.SetComputeModel(cluster.ComputeModel{}) // benchmarks do no compute
+	if spec.Faults != nil {
+		w.SetFaults(spec.Faults)
+	}
 
 	pl := spec.Placement
 	procs := pl.NumProcs()
@@ -101,6 +104,12 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 		Procs:        procs,
 		BinWidth:     spec.BinWidth,
 		SyncResidual: worstResidual,
+	}
+	nc := net.Stats()
+	res.Retries = nc.Retries
+	res.FaultDrops = nc.FaultDrops
+	if spec.Faults != nil {
+		res.Scenario = spec.Faults.Name
 	}
 	half := procs / 2
 	for si, size := range spec.Sizes {

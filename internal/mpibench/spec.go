@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 )
 
 // Op is a benchmarkable MPI operation.
@@ -84,6 +85,12 @@ type Spec struct {
 	// this isolates how much of a measured distribution's width is
 	// genuine versus clock-synchronisation error.
 	PerfectClocks bool
+
+	// Faults, when non-nil, perturbs the simulated cluster with the given
+	// schedule for the whole run (including warm-up and clock sync). The
+	// schedule is plain data: benchmarking under faults stays exactly as
+	// reproducible as the healthy run.
+	Faults *faults.Schedule
 
 	// Seed drives all simulation randomness.
 	Seed uint64
@@ -161,6 +168,9 @@ func (s Spec) Validate(cfg *cluster.Config) error {
 	}
 	if len(s.Sizes) == 0 {
 		return fmt.Errorf("mpibench: no message sizes")
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("mpibench: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// outage returns a schedule taking node's NIC down for [0, secs).
+func outage(node int, secs float64) *faults.Schedule {
+	return &faults.Schedule{Name: "test-outage", Rules: []faults.Rule{{
+		Kind: faults.NICOutage, Start: 0, End: sim.TimeFromSeconds(secs), Target: node,
+	}}}
+}
+
+// TestRetryBackoffEnvelope is the forced-saturation test for the
+// retransmission path: a long NIC outage makes every attempt fail
+// deterministically (no RNG in the outage check), driving retry through
+// the capped exponential backoff. Each observed RTO must sit within the
+// ±10% jitter band around RTO*RTOBackoff^min(try,5), the growth must
+// cap, and the counters must reconcile with the one delivered transfer.
+func TestRetryBackoffEnvelope(t *testing.T) {
+	cfg := quietPerseus()
+	e := sim.NewEngine(1)
+	n := New(e, cfg)
+	n.SetFaults(outage(1, 20)) // long enough to reach the backoff cap (try >= 5)
+
+	type obs struct {
+		try int
+		rto float64
+	}
+	var seen []obs
+	n.SetRetryObserver(func(src, dst, try int, rto float64) {
+		if src != 0 || dst != 1 {
+			t.Errorf("retry for %d->%d, want 0->1", src, dst)
+		}
+		seen = append(seen, obs{try, rto})
+	})
+
+	delivered := 0
+	var stats TransferStats
+	n.Transfer(0, 1, 1024, func(s TransferStats) { delivered++; stats = s })
+	if _, err := e.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+
+	if delivered != 1 {
+		t.Fatalf("delivered %d transfers, want 1", delivered)
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d retries — outage too short to exercise the backoff cap", len(seen))
+	}
+	maxNominal := 0.0
+	for i, o := range seen {
+		if o.try != i {
+			t.Errorf("retry %d reports try %d — attempts must fail in order", i, o.try)
+		}
+		exp := o.try
+		if exp > 5 {
+			exp = 5
+		}
+		nominal := cfg.RTO * math.Pow(cfg.RTOBackoff, float64(exp))
+		if nominal > maxNominal {
+			maxNominal = nominal
+		}
+		if r := o.rto / nominal; r < 0.9-1e-12 || r > 1.1+1e-12 {
+			t.Errorf("retry %d: rto %.4fs is %.3f× nominal %.4fs, want within ±10%%", i, o.rto, r, nominal)
+		}
+	}
+	// Growth is bounded: the cap pins the nominal RTO at backoff^5.
+	if want := cfg.RTO * math.Pow(cfg.RTOBackoff, 5); maxNominal != want {
+		t.Errorf("max nominal RTO %.4fs, want capped %.4fs", maxNominal, want)
+	}
+	// Every drop here is fault-attributed, every retry follows one drop,
+	// and the transfer still completed after the window.
+	c := n.Stats()
+	if c.Retries != uint64(len(seen)) {
+		t.Errorf("Counters.Retries = %d, observer saw %d", c.Retries, len(seen))
+	}
+	if c.FaultDrops != c.Retries {
+		t.Errorf("FaultDrops = %d, want all %d drops fault-attributed", c.FaultDrops, c.Retries)
+	}
+	if stats.Retries != len(seen) {
+		t.Errorf("TransferStats.Retries = %d, want %d", stats.Retries, len(seen))
+	}
+	if got := stats.Delivered.Seconds(); got < 20 {
+		t.Errorf("delivered at %.2fs, inside the 20s outage window", got)
+	}
+}
+
+func TestDropBoostForcesFaultDrops(t *testing.T) {
+	cfg := quietPerseus()
+	e := sim.NewEngine(1)
+	n := New(e, cfg)
+	// Certain drop at the destination for the first 0.3s: the congestion
+	// check never fires on an idle network, so every drop in the window
+	// is fault-attributed, and the transfer completes after it closes.
+	n.SetFaults(&faults.Schedule{Name: "lossy", Rules: []faults.Rule{{
+		Kind: faults.DropBoost, Start: 0, End: sim.TimeFromSeconds(0.3),
+		Target: 1, Severity: 1,
+	}}})
+	delivered := 0
+	n.Transfer(0, 1, 1024, func(TransferStats) { delivered++ })
+	if _, err := e.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	c := n.Stats()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+	if c.FaultDrops == 0 {
+		t.Error("certain DropBoost produced no fault drops")
+	}
+	if c.FaultDrops > c.Retries {
+		t.Errorf("FaultDrops %d > Retries %d", c.FaultDrops, c.Retries)
+	}
+}
+
+func TestLinkDegradeStretchesTransfer(t *testing.T) {
+	cfg := quietPerseus()
+	run := func(sched *faults.Schedule) float64 {
+		e := sim.NewEngine(1)
+		n := New(e, cfg)
+		if sched != nil {
+			n.SetFaults(sched)
+		}
+		var ts TransferStats
+		n.Transfer(0, 1, 131072, func(s TransferStats) { ts = s })
+		if _, err := e.Run(sim.Forever); err != nil {
+			t.Fatal(err)
+		}
+		return ts.Delivered.Sub(ts.Sent).Seconds()
+	}
+	healthy := run(nil)
+	degraded := run(&faults.Schedule{Name: "slow-link", Rules: []faults.Rule{{
+		Kind: faults.LinkDegrade, Start: 0, End: sim.TimeFromSeconds(60),
+		Target: 0, Severity: 0.5,
+	}}})
+	// Halving the source link rate must at least substantially stretch a
+	// 128 KB transfer (serialisation dominates at this size).
+	if degraded < healthy*1.5 {
+		t.Errorf("degraded %.4fs vs healthy %.4fs: LinkDegrade had no effect", degraded, healthy)
+	}
+}
+
+func TestBackplaneDegradeSlowsCrossSwitch(t *testing.T) {
+	cfg := quietPerseus()
+	src, dst := 0, cfg.PortsPerSwitch // adjacent switches: uses segment 0
+	run := func(sched *faults.Schedule) float64 {
+		e := sim.NewEngine(1)
+		n := New(e, cfg)
+		if sched != nil {
+			n.SetFaults(sched)
+		}
+		var ts TransferStats
+		n.Transfer(src, dst, 131072, func(s TransferStats) { ts = s })
+		if _, err := e.Run(sim.Forever); err != nil {
+			t.Fatal(err)
+		}
+		if !ts.CrossSwitch {
+			t.Fatal("expected a cross-switch path")
+		}
+		return ts.Delivered.Sub(ts.Sent).Seconds()
+	}
+	healthy := run(nil)
+	degraded := run(&faults.Schedule{Name: "bad-stack", Rules: []faults.Rule{{
+		Kind: faults.BackplaneDegrade, Start: 0, End: sim.TimeFromSeconds(60),
+		Target: 0, Severity: 0.05,
+	}}})
+	if degraded <= healthy {
+		t.Errorf("degraded %.6fs <= healthy %.6fs: BackplaneDegrade had no effect", degraded, healthy)
+	}
+}
+
+// TestEmptyScheduleBitIdentical guards the determinism contract: an
+// installed-but-empty schedule must not change a single event, because
+// it draws no randomness and perturbs no service time.
+func TestEmptyScheduleBitIdentical(t *testing.T) {
+	run := func(install bool) []sim.Time {
+		e := sim.NewEngine(99)
+		n := New(e, cluster.Perseus()) // full noise: any extra RNG draw shows up
+		if install {
+			n.SetFaults(&faults.Schedule{Name: "empty"})
+		}
+		var times []sim.Time
+		for i := 0; i < 40; i++ {
+			src, dst := i%8, (i+3)%8+cluster.Perseus().PortsPerSwitch
+			n.Transfer(src, dst, 1024*(i%5+1), func(s TransferStats) {
+				times = append(times, s.Delivered)
+			})
+		}
+		if _, err := e.Run(sim.Forever); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v — empty schedule changed the run", i, a[i], b[i])
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -32,10 +33,16 @@ type TransferStats struct {
 
 // Counters aggregates network activity for experiments and tests.
 type Counters struct {
-	Transfers    uint64
-	IntraNode    uint64
-	CrossSwitch  uint64
-	Retries      uint64
+	Transfers   uint64
+	IntraNode   uint64
+	CrossSwitch uint64
+	// Retries counts retransmission timeouts; every dropped attempt
+	// triggers exactly one, so it is also the total drop count.
+	Retries uint64
+	// FaultDrops counts the subset of drops attributed to an active
+	// fault schedule (NIC outage windows, injected drop probability)
+	// rather than to congestion. FaultDrops <= Retries always.
+	FaultDrops   uint64
 	WireBytes    uint64
 	MaxStackWait sim.Duration // worst backlog observed at the backplane
 }
@@ -65,6 +72,17 @@ type Network struct {
 
 	loss   *sim.RNG
 	jitter *sim.RNG
+
+	// sched is the active fault schedule (nil or empty = healthy). It is
+	// read-only while the simulation runs; an empty schedule draws no
+	// extra randomness, so healthy runs are bit-identical with or
+	// without the fault machinery.
+	sched *faults.Schedule
+
+	// retryObs, when set, observes every retransmission: the attempt
+	// number being retried and the jittered RTO (seconds) about to be
+	// slept. Tests use it to verify the backoff envelope.
+	retryObs func(srcNode, dstNode, try int, rto float64)
 
 	counters Counters
 }
@@ -100,6 +118,27 @@ func New(e *sim.Engine, cfg cluster.Config) *Network {
 
 // Config returns the cluster configuration the network models.
 func (n *Network) Config() cluster.Config { return n.cfg }
+
+// SetFaults installs a fault schedule. Pass nil to restore the healthy
+// cluster. The schedule must not be mutated while the simulation runs.
+// It panics on an invalid schedule, which is a programming error.
+func (n *Network) SetFaults(s *faults.Schedule) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	n.sched = s
+}
+
+// Faults returns the active fault schedule (nil when healthy).
+func (n *Network) Faults() *faults.Schedule { return n.sched }
+
+// SetRetryObserver installs a hook called on every retransmission with
+// the source and destination node, the attempt number that failed, and
+// the jittered RTO in seconds the retry will wait. Tests use it to
+// check the backoff envelope; pass nil to remove.
+func (n *Network) SetRetryObserver(f func(srcNode, dstNode, try int, rto float64)) {
+	n.retryObs = f
+}
 
 // Stats returns a snapshot of the activity counters.
 func (n *Network) Stats() Counters { return n.counters }
@@ -157,7 +196,20 @@ func (n *Network) intraNode(node, payload int, start sim.Time, done func(Transfe
 func (n *Network) attempt(srcNode, dstNode, payload int, start sim.Time, try int, done func(TransferStats)) {
 	cfg := &n.cfg
 	wire := cfg.WireBytes(payload)
-	txService := sim.DurationFromSeconds(float64(wire) * 8 / cfg.LinkRate)
+
+	// NIC outage windows lose the attempt outright — the segment went
+	// onto a dead wire — and the sender discovers it via the TCP timeout.
+	// This checks only the schedule (no RNG), so it is deterministic.
+	if n.sched.NICDown(srcNode, n.e.Now()) || n.sched.NICDown(dstNode, n.e.Now()) {
+		n.counters.FaultDrops++
+		n.retry(srcNode, dstNode, payload, start, try, done)
+		return
+	}
+
+	// Link degradation stretches the serialisation time: the NIC clocks
+	// bits onto the wire at a fraction of the nominal rate.
+	txRate := cfg.LinkRate * n.sched.LinkFactor(srcNode, n.e.Now())
+	txService := sim.DurationFromSeconds(float64(wire) * 8 / txRate)
 
 	txEnd := n.nicTx[srcNode].Enqueue(txService, nil)
 	txStart := txEnd.Add(-txService)
@@ -168,12 +220,26 @@ func (n *Network) attempt(srcNode, dstNode, payload int, start sim.Time, try int
 
 	crossSwitch := cfg.SwitchOf(srcNode) != cfg.SwitchOf(dstNode)
 	afterFabric := func() {
-		// Destination port: drop if its buffers have overflowed.
+		// Destination port: drop if its buffers have overflowed. The
+		// congestion check runs first so healthy runs consume the loss
+		// stream identically whether or not a schedule is installed.
 		if n.dropped(n.nicRx[dstNode].Backlog(), cfg.NICBufferDelay()) {
 			n.retry(srcNode, dstNode, payload, start, try, done)
 			return
 		}
-		rxService := sim.DurationFromSeconds(float64(wire) * 8 / cfg.LinkRate)
+		if boost := n.sched.DropBoost(dstNode, n.e.Now()); boost > 0 && n.loss.Bool(boost) {
+			n.counters.FaultDrops++
+			n.retry(srcNode, dstNode, payload, start, try, done)
+			return
+		}
+		// The delivered stream cannot run faster than the slowest link on
+		// the path: a degraded source NIC throttles the whole pipeline,
+		// not just its own transmit queue.
+		lf := n.sched.LinkFactor(dstNode, n.e.Now())
+		if src := n.sched.LinkFactor(srcNode, n.e.Now()); src < lf {
+			lf = src
+		}
+		rxService := sim.DurationFromSeconds(float64(wire) * 8 / (cfg.LinkRate * lf))
 		n.nicRx[dstNode].Enqueue(rxService, func(_, end sim.Time) {
 			if crossSwitch {
 				n.counters.CrossSwitch++
@@ -243,7 +309,7 @@ func (n *Network) crossSegments(srcSwitch, dstSwitch, payload int, next func(dro
 	}
 	var step func(i int)
 	step = func(i int) {
-		n.traverseStage(n.segments[path[i]], payload, false, func(dropped bool) {
+		n.traverseStage(n.segments[path[i]], path[i], payload, false, func(dropped bool) {
 			if dropped || i == len(path)-1 {
 				next(dropped)
 				return
@@ -263,16 +329,17 @@ func (n *Network) crossSegments(srcSwitch, dstSwitch, payload int, next func(dro
 // The handoff respects queueing: if the stage is backed up, the message
 // waits its full turn.
 func (n *Network) traverse(s *sim.Serializer, payload int, next func(dropped bool)) {
-	n.traverseStage(s, payload, true, next)
+	n.traverseStage(s, -1, payload, true, next)
 }
 
-// traverseStage implements traverse. Switch fabrics (perFrame=true) pay
-// the forwarding engine's per-frame processing on top of the bit rate;
-// stacking segments (perFrame=false) are simple TDM pipes that move bits
-// at the stack rate only — which is why small-message contention is a
-// fabric phenomenon while the backplane only matters once large
-// transfers approach its bit capacity.
-func (n *Network) traverseStage(s *sim.Serializer, payload int, perFrame bool, next func(dropped bool)) {
+// traverseStage implements traverse. Switch fabrics (perFrame=true,
+// seg=-1) pay the forwarding engine's per-frame processing on top of the
+// bit rate; stacking segments (perFrame=false, seg = segment index) are
+// simple TDM pipes that move bits at the stack rate only — which is why
+// small-message contention is a fabric phenomenon while the backplane
+// only matters once large transfers approach its bit capacity. A
+// BackplaneDegrade fault scales the segment's rate down.
+func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bool, next func(dropped bool)) {
 	if wait := s.Backlog(); wait > n.counters.MaxStackWait {
 		n.counters.MaxStackWait = wait
 	}
@@ -280,12 +347,16 @@ func (n *Network) traverseStage(s *sim.Serializer, payload int, perFrame bool, n
 		next(true)
 		return
 	}
-	serviceSec := float64(n.cfg.WireBytes(payload)) * 8 / n.cfg.StackRate
+	rate := n.cfg.StackRate
+	if seg >= 0 {
+		rate *= n.sched.StackFactor(seg, n.e.Now())
+	}
+	serviceSec := float64(n.cfg.WireBytes(payload)) * 8 / rate
 	frame := n.cfg.WireBytes(payload)
 	if max := n.cfg.MTU + n.cfg.FrameOverhead; frame > max {
 		frame = max
 	}
-	oneFrame := float64(frame) * 8 / n.cfg.StackRate
+	oneFrame := float64(frame) * 8 / rate
 	if perFrame {
 		serviceSec = n.cfg.FabricService(payload)
 		oneFrame += n.cfg.FabricPerFrame
@@ -322,6 +393,9 @@ func (n *Network) retry(srcNode, dstNode, payload int, start sim.Time, try int, 
 	}
 	// ±10% jitter so synchronized losses do not retransmit in lock-step.
 	rto *= 0.9 + 0.2*n.jitter.Float64()
+	if n.retryObs != nil {
+		n.retryObs(srcNode, dstNode, try, rto)
+	}
 	n.e.Schedule(sim.DurationFromSeconds(rto), func() {
 		n.attempt(srcNode, dstNode, payload, start, try+1, done)
 	})

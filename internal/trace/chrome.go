@@ -6,6 +6,14 @@ import (
 	"io"
 )
 
+// Chrome trace "process" ids. Rank activity lives in pid 0; fault
+// windows get their own pid so chrome://tracing and Perfetto render
+// them as a dedicated track above the rank timelines.
+const (
+	chromePIDRanks  = 0
+	chromePIDFaults = 1
+)
+
 // chromeEvent is one entry of the Chrome trace-event format (the JSON
 // array flavour), loadable in chrome://tracing and Perfetto. Virtual
 // ranks map to "threads"; durations use the complete-event phase "X".
@@ -21,12 +29,17 @@ type chromeEvent struct {
 
 // WriteChromeTrace renders the log in Chrome trace-event JSON. Compute
 // intervals, receive waits and collective brackets become duration
-// events; sends become instant events.
+// events; sends and retransmission notices become instant events; fault
+// windows render as duration events on a dedicated "faults" track. A
+// truncated log (Dropped > 0) is annotated with a trace-truncated
+// instant event rather than silently exported as if complete.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
 	var out []chromeEvent
 	computeOpen := map[int]float64{}
 	recvOpen := map[int][]Event{}
 	collOpen := map[int][]Event{}
+	faultOpen := map[int]Event{} // keyed by rule index (Tag)
+	haveFaults := false
 	for _, ev := range l.Events() {
 		ts := ev.Time.Seconds() * 1e6
 		switch ev.Kind {
@@ -36,27 +49,37 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			if t0, ok := computeOpen[ev.Rank]; ok {
 				out = append(out, chromeEvent{
 					Name: "compute", Phase: "X", TS: t0, Dur: ts - t0,
-					PID: 0, TID: ev.Rank,
+					PID: chromePIDRanks, TID: ev.Rank,
 				})
 				delete(computeOpen, ev.Rank)
 			}
 		case RecvPost:
 			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev)
 		case RecvEnd:
-			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
-				t0 := stack[0].Time.Seconds() * 1e6
+			// Pair with the open post for this (peer, tag) — FIFO only
+			// among equal keys or for wildcard posts — so overlapping
+			// nonblocking receives keep their own durations.
+			if i := matchRecv(recvOpen[ev.Rank], ev); i >= 0 {
+				stack := recvOpen[ev.Rank]
+				t0 := stack[i].Time.Seconds() * 1e6
 				out = append(out, chromeEvent{
 					Name: "recv", Phase: "X", TS: t0, Dur: ts - t0,
-					PID: 0, TID: ev.Rank,
+					PID: chromePIDRanks, TID: ev.Rank,
 					Args: map[string]any{"from": ev.Peer, "tag": ev.Tag, "bytes": ev.Size},
 				})
-				recvOpen[ev.Rank] = stack[1:]
+				recvOpen[ev.Rank] = append(stack[:i:i], stack[i+1:]...)
 			}
 		case SendStart:
 			out = append(out, chromeEvent{
 				Name: fmt.Sprintf("send->%d", ev.Peer), Phase: "i", TS: ts,
-				PID: 0, TID: ev.Rank,
+				PID: chromePIDRanks, TID: ev.Rank,
 				Args: map[string]any{"to": ev.Peer, "tag": ev.Tag, "bytes": ev.Size},
+			})
+		case NetRetry:
+			out = append(out, chromeEvent{
+				Name: "retx", Phase: "i", TS: ts,
+				PID: chromePIDRanks, TID: ev.Rank,
+				Args: map[string]any{"to": ev.Peer, "retries": ev.Tag, "bytes": ev.Size},
 			})
 		case CollectiveStart:
 			collOpen[ev.Rank] = append(collOpen[ev.Rank], ev)
@@ -70,11 +93,37 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 				t0 := open.Time.Seconds() * 1e6
 				out = append(out, chromeEvent{
 					Name: ev.Note, Phase: "X", TS: t0, Dur: ts - t0,
-					PID: 0, TID: ev.Rank,
+					PID: chromePIDRanks, TID: ev.Rank,
 					Args: map[string]any{"bytes": ev.Size},
 				})
 			}
+		case FaultBegin:
+			faultOpen[ev.Tag] = ev
+			haveFaults = true
+		case FaultEnd:
+			if open, ok := faultOpen[ev.Tag]; ok {
+				t0 := open.Time.Seconds() * 1e6
+				out = append(out, chromeEvent{
+					Name: open.Note, Phase: "X", TS: t0, Dur: ts - t0,
+					PID: chromePIDFaults, TID: ev.Tag,
+					Args: map[string]any{"target": ev.Peer, "rule": ev.Tag},
+				})
+				delete(faultOpen, ev.Tag)
+			}
 		}
+	}
+	if haveFaults {
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: chromePIDFaults,
+			Args: map[string]any{"name": "faults"},
+		})
+	}
+	if l.dropped > 0 {
+		out = append(out, chromeEvent{
+			Name: "trace-truncated", Phase: "i", TS: 0,
+			PID: chromePIDRanks, TID: 0,
+			Args: map[string]any{"dropped": l.dropped, "limit": l.limit},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -27,6 +27,9 @@ const (
 	ComputeEnd
 	CollectiveStart
 	CollectiveEnd
+	FaultBegin // a fault-schedule window opens (Tag = rule index, Peer = target)
+	FaultEnd   // the window closes
+	NetRetry   // a transfer completed only after TCP retransmissions (Tag = retry count)
 )
 
 var kindNames = map[Kind]string{
@@ -34,6 +37,8 @@ var kindNames = map[Kind]string{
 	RecvPost: "recv-post", RecvEnd: "recv-end",
 	ComputeStart: "compute-start", ComputeEnd: "compute-end",
 	CollectiveStart: "coll-start", CollectiveEnd: "coll-end",
+	FaultBegin: "fault-begin", FaultEnd: "fault-end",
+	NetRetry: "net-retry",
 }
 
 func (k Kind) String() string {
@@ -58,17 +63,22 @@ type Event struct {
 // the simulation kernel is single-threaded, so that is not a
 // restriction in practice.
 type Log struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int
 }
 
 // NewLog returns a log that keeps at most limit events (0 = unlimited).
 // The limit guards long benchmark runs against unbounded memory.
 func NewLog(limit int) *Log { return &Log{limit: limit} }
 
-// Record appends an event unless the log has reached its limit.
+// Record appends an event. Once the log reaches its limit further events
+// are counted as dropped rather than silently discarded: a truncated log
+// has dangling RecvPost/CollectiveStart brackets, and exporters use
+// Dropped to annotate their output instead of misreporting.
 func (l *Log) Record(ev Event) {
 	if l.limit > 0 && len(l.events) >= l.limit {
+		l.dropped++
 		return
 	}
 	l.events = append(l.events, ev)
@@ -77,6 +87,14 @@ func (l *Log) Record(ev Event) {
 // Len reports the number of recorded events.
 func (l *Log) Len() int { return len(l.events) }
 
+// Dropped reports how many events were discarded after the log filled.
+// A non-zero count means summaries and exports describe a truncated
+// timeline.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Truncated reports whether any events were dropped.
+func (l *Log) Truncated() bool { return l.dropped > 0 }
+
 // Events returns the recorded events in time order (stable for equal
 // timestamps).
 func (l *Log) Events() []Event {
@@ -84,6 +102,35 @@ func (l *Log) Events() []Event {
 	copy(out, l.events)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
+}
+
+// matchRecv picks the open RecvPost a RecvEnd pairs with. The end event
+// carries the actual (source, tag) of the delivered message; the posted
+// receive may name them exactly or use wildcards (negative peer/tag).
+// Preference order: exact (peer, tag) match, then a wildcard-compatible
+// post, then plain FIFO — each FIFO among equals, so overlapping
+// nonblocking receives of distinct peers or tags are attributed to the
+// receive that actually completed rather than whichever was posted
+// first. Returns -1 when no post is open.
+func matchRecv(open []Event, end Event) int {
+	if len(open) == 0 {
+		return -1
+	}
+	wildcard := -1
+	for i, post := range open {
+		if post.Peer == end.Peer && post.Tag == end.Tag {
+			return i
+		}
+		if wildcard < 0 &&
+			(post.Peer < 0 || post.Peer == end.Peer) &&
+			(post.Tag < 0 || post.Tag == end.Tag) {
+			wildcard = i
+		}
+	}
+	if wildcard >= 0 {
+		return wildcard
+	}
+	return 0 // mismatched brackets: fall back to FIFO rather than dropping
 }
 
 // RankSummary aggregates one rank's activity.
@@ -109,8 +156,11 @@ func (l *Log) Summaries() []RankSummary {
 	}
 	// Track open intervals per rank.
 	computeOpen := map[int]sim.Time{}
-	recvOpen := map[int][]sim.Time{} // stack of posted-but-unfinished receives
+	recvOpen := map[int][]Event{} // posted-but-unfinished receives
 	for _, ev := range l.Events() {
+		if ev.Kind == FaultBegin || ev.Kind == FaultEnd {
+			continue // schedule annotations, not rank activity
+		}
 		s := get(ev.Rank)
 		if ev.Time > s.Finish {
 			s.Finish = ev.Time
@@ -120,13 +170,13 @@ func (l *Log) Summaries() []RankSummary {
 			s.Sends++
 			s.BytesSent += ev.Size
 		case RecvPost:
-			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev.Time)
+			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev)
 		case RecvEnd:
 			s.Recvs++
-			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
-				// FIFO pairing approximates per-request matching.
-				s.RecvWait += ev.Time.Sub(stack[0])
-				recvOpen[ev.Rank] = stack[1:]
+			if i := matchRecv(recvOpen[ev.Rank], ev); i >= 0 {
+				stack := recvOpen[ev.Rank]
+				s.RecvWait += ev.Time.Sub(stack[i].Time)
+				recvOpen[ev.Rank] = append(stack[:i:i], stack[i+1:]...)
 			}
 		case ComputeStart:
 			computeOpen[ev.Rank] = ev.Time
@@ -156,8 +206,18 @@ func (l *Log) WriteText(w io.Writer) error {
 			detail = fmt.Sprintf("from=%d tag=%d size=%d", ev.Peer, ev.Tag, ev.Size)
 		case CollectiveStart, CollectiveEnd:
 			detail = ev.Note
+		case FaultBegin, FaultEnd:
+			detail = fmt.Sprintf("rule=%d target=%d %s", ev.Tag, ev.Peer, ev.Note)
+		case NetRetry:
+			detail = fmt.Sprintf("to=%d retries=%d size=%d", ev.Peer, ev.Tag, ev.Size)
 		}
 		if _, err := fmt.Fprintf(w, "%14v rank%-4d %-13s %s\n", ev.Time, ev.Rank, ev.Kind, detail); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "!! trace truncated: %d further event(s) dropped at the %d-event limit\n",
+			l.dropped, l.limit); err != nil {
 			return err
 		}
 	}
@@ -168,7 +228,15 @@ func (l *Log) WriteText(w io.Writer) error {
 // divided into cols buckets, each cell showing the rank's dominant
 // activity in that bucket (C compute, s send, r receive-wait, idle '.').
 func (l *Log) Gantt(cols int) string {
-	events := l.Events()
+	all := l.Events()
+	// Fault-window annotations are not rank activity and may extend past
+	// the run; charting them would stretch the time axis.
+	events := all[:0:0]
+	for _, ev := range all {
+		if ev.Kind != FaultBegin && ev.Kind != FaultEnd {
+			events = append(events, ev)
+		}
+	}
 	if len(events) == 0 || cols <= 0 {
 		return ""
 	}
@@ -212,7 +280,7 @@ func (l *Log) Gantt(cols int) string {
 		}
 	}
 	computeOpen := map[int]sim.Time{}
-	recvOpen := map[int][]sim.Time{}
+	recvOpen := map[int][]Event{}
 	for _, ev := range events {
 		switch ev.Kind {
 		case ComputeStart:
@@ -223,11 +291,12 @@ func (l *Log) Gantt(cols int) string {
 				delete(computeOpen, ev.Rank)
 			}
 		case RecvPost:
-			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev.Time)
+			recvOpen[ev.Rank] = append(recvOpen[ev.Rank], ev)
 		case RecvEnd:
-			if stack := recvOpen[ev.Rank]; len(stack) > 0 {
-				mark(ev.Rank, stack[0], ev.Time, 'r')
-				recvOpen[ev.Rank] = stack[1:]
+			if i := matchRecv(recvOpen[ev.Rank], ev); i >= 0 {
+				stack := recvOpen[ev.Rank]
+				mark(ev.Rank, stack[i].Time, ev.Time, 'r')
+				recvOpen[ev.Rank] = append(stack[:i:i], stack[i+1:]...)
 			}
 		case SendStart:
 			mark(ev.Rank, ev.Time, ev.Time, 's')

@@ -14,6 +14,7 @@ package workloads
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -31,9 +32,21 @@ type ExecResult struct {
 // placement and returns the measured execution times. This is the
 // "actually executing the code on Perseus" side of Figure 6.
 func Execute(cfg cluster.Config, pl cluster.Placement, seed uint64, program func(c *mpi.Comm)) (ExecResult, error) {
+	return ExecuteFaults(cfg, pl, seed, nil, program)
+}
+
+// ExecuteFaults is Execute on a perturbed cluster: the fault schedule
+// applies for the whole run (nil means healthy). This is how Figure-6
+// style measured-vs-predicted comparisons rerun under degraded
+// scenarios.
+func ExecuteFaults(cfg cluster.Config, pl cluster.Placement, seed uint64,
+	sched *faults.Schedule, program func(c *mpi.Comm)) (ExecResult, error) {
 	e := sim.NewEngine(seed)
 	net := netsim.New(e, cfg)
 	w := mpi.NewWorld(e, net, pl)
+	if sched != nil {
+		w.SetFaults(sched)
+	}
 	w.Launch(program)
 	// Always unwind rank goroutines: concurrent sweep cells must not
 	// leak parked processes. A no-op after a clean run.
