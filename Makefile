@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults
+.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
 
 all: build
 
@@ -40,12 +40,24 @@ bench-baseline:
 
 # determinism proves parallel sweeps change wall-clock only: the quick
 # repro run must be byte-identical between -parallel=1 and the default
-# worker count.
+# worker count, and both must match the committed golden transcript so
+# optimisation PRs cannot silently change simulated results
+# (cmd/repro/testdata/golden_seed1.txt; regenerate it only when a PR
+# deliberately changes model behaviour, and say so in the PR).
 determinism:
 	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives -parallel=1 > /tmp/repro-serial.txt
 	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives > /tmp/repro-parallel.txt
 	diff /tmp/repro-serial.txt /tmp/repro-parallel.txt
-	@echo "determinism: serial and parallel outputs are byte-identical"
+	diff /tmp/repro-serial.txt cmd/repro/testdata/golden_seed1.txt
+	@echo "determinism: serial and parallel outputs are byte-identical and match the golden transcript"
+
+# profile captures CPU and allocation pprof profiles of the quick repro
+# sweep into profiles/ (gitignored). Inspect with
+# `go tool pprof profiles/cpu.pprof` — see docs/PERFORMANCE.md.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/repro -seed 1 -timing=false -cpuprofile profiles/cpu.pprof -memprofile profiles/allocs.pprof > /dev/null
+	@echo "profile: wrote profiles/cpu.pprof and profiles/allocs.pprof"
 
 # faults-smoke exercises one fault-scenario preset end to end through
 # the CLI (schedule construction, perturbed benches, Jacobi

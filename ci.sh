@@ -12,7 +12,9 @@
 #   5. the fault-injection gates: one scenario preset smoke-run through
 #      the CLI, then the serial-vs-parallel determinism diff of the
 #      full perturbed sweep
-#   6. the benchmark-regression gate against BENCH_baseline.json
+#   6. the pprof smoke: `make profile` must produce non-empty CPU and
+#      allocation profiles (tooling stays usable; timing not gated)
+#   7. the benchmark-regression gate against BENCH_baseline.json
 set -eux
 
 go vet ./...
@@ -22,4 +24,7 @@ make lint
 make determinism
 make faults-smoke
 make determinism-faults
+make profile
+test -s profiles/cpu.pprof
+test -s profiles/allocs.pprof
 make bench-check

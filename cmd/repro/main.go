@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cluster"
@@ -38,7 +40,37 @@ func main() {
 	timing := flag.Bool("timing", true, "print the Figure 6 wall-clock cost line (disable for byte-stable output)")
 	collectives := flag.Bool("collectives", false, "also print the collective-operation scaling table (thesis companion data)")
 	faultsFlag := flag.String("faults", "", "run the perturbed sweep under a fault scenario preset (\"all\" = every preset)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see make profile)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC() // settle accounting so the profile reflects live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	params := experiments.Quick()
 	if *full {

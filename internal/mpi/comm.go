@@ -184,7 +184,7 @@ func (c *Comm) Wait(r *Request) Status {
 		panic("mpi: Wait on a request from another rank")
 	}
 	for !r.done {
-		c.proc.Block(c.describe(r))
+		c.proc.BlockOn(r)
 	}
 	c.chargeCompletion(r)
 	return r.st
@@ -210,7 +210,7 @@ func (c *Comm) Waitall(rs ...*Request) {
 		if allDone {
 			break
 		}
-		c.proc.Block(c.describe(pending))
+		c.proc.BlockOn(pending)
 	}
 	for _, r := range rs {
 		c.chargeCompletion(r)
@@ -264,10 +264,11 @@ func (c *Comm) chargeCompletion(r *Request) {
 	}
 }
 
-func (c *Comm) describe(r *Request) string {
-	if r == nil {
-		return "Wait"
-	}
+// BlockReason describes the pending operation for deadlock reports. Wait
+// and Waitall park on the request itself (sim.BlockReasoner) so the hot
+// path stores one interface word instead of formatting this string on
+// every block iteration.
+func (r *Request) BlockReason() string {
 	if r.isSend {
 		return fmt.Sprintf("Wait(send to %d tag %d size %d)", r.env.dst, r.tag, r.env.size)
 	}

@@ -176,7 +176,7 @@ func (l *Linter) pendingOps(rank int) []string {
 	var out []string
 	for r := range l.outstanding {
 		if r.c.rank == rank {
-			out = append(out, r.c.describe(r))
+			out = append(out, r.BlockReason())
 		}
 	}
 	sort.Strings(out)
@@ -203,10 +203,10 @@ func (l *Linter) finalize(w *World) {
 		switch {
 		case !r.done && !r.isSend:
 			l.record(SeverityWarning, RuleLeakedRequest, rank,
-				"%s posted but never matched or waited", r.c.describe(r))
+				"%s posted but never matched or waited", r.BlockReason())
 		default:
 			l.record(SeverityWarning, RuleLeakedRequest, rank,
-				"%s never completed with Wait/Test", r.c.describe(r))
+				"%s never completed with Wait/Test", r.BlockReason())
 		}
 	}
 	for rank, rs := range w.ranks {

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -33,11 +32,34 @@ func (k packetKind) String() string {
 }
 
 // packet is one transport-level unit travelling between two ranks.
+// Packets are pooled on the World and recycled after handlePacket, and
+// they double as the network completion receiver (netsim.Receiver) so a
+// send costs no per-packet closure.
 type packet struct {
-	kind packetKind
-	seq  uint64
-	env  *envelope // eager/RTS/data: the message this packet belongs to
-	id   uint64    // CTS: the send request being cleared
+	w     *World
+	key   connKey
+	bytes int // wire payload size, for retry trace records
+	kind  packetKind
+	seq   uint64
+	env   *envelope // eager/RTS/data: the message this packet belongs to
+	id    uint64    // CTS: the send request being cleared
+}
+
+// Deliver runs in event context when the network finishes the transfer.
+func (p *packet) Deliver(st netsim.TransferStats) {
+	w := p.w
+	// Surface retransmission timeouts: they are invisible to the MPI
+	// program (TCP retries under the covers) but they are exactly the
+	// outliers the paper's distribution tails are made of.
+	if st.Retries > 0 {
+		w.timeouts.Messages++
+		w.timeouts.Retries += st.Retries
+		if d := st.Delivered.Sub(st.Sent); d > w.timeouts.Worst {
+			w.timeouts.Worst = d
+		}
+		w.rec(p.key.src, trace.NetRetry, p.key.dst, st.Retries, p.bytes, "")
+	}
+	w.arrive(p.key, p)
 }
 
 // envelope is a message in flight: the matching key plus payload
@@ -62,8 +84,9 @@ type envelope struct {
 // younger arrivals back so ranks observe in-order delivery with
 // head-of-line blocking, as TCP guarantees.
 type connection struct {
-	nextSeq uint64
-	held    []*packet // out-of-order arrivals, kept sorted by seq
+	nextSeq  uint64    // next sequence number to deliver (receive side)
+	nextSend uint64    // next sequence number to stamp (send side)
+	held     []*packet // out-of-order arrivals, kept sorted by seq
 }
 
 // sendPacket injects a packet of the given payload size from src to dst,
@@ -75,37 +98,30 @@ func (w *World) sendPacket(src, dst int, kind packetKind, bytes int, env *envelo
 		conn = &connection{}
 		w.conns[key] = conn
 	}
-	pkt := &packet{kind: kind, env: env, id: id}
-	pkt.seq = w.seqCounter(key)
-	w.net.Transfer(w.place.NodeOf(src), w.place.NodeOf(dst), bytes, func(st netsim.TransferStats) {
-		// Surface retransmission timeouts: they are invisible to the MPI
-		// program (TCP retries under the covers) but they are exactly the
-		// outliers the paper's distribution tails are made of.
-		if st.Retries > 0 {
-			w.timeouts.Messages++
-			w.timeouts.Retries += st.Retries
-			if d := st.Delivered.Sub(st.Sent); d > w.timeouts.Worst {
-				w.timeouts.Worst = d
-			}
-			w.rec(src, trace.NetRetry, dst, st.Retries, bytes, "")
-		}
-		w.arrive(key, pkt)
-	})
+	pkt := w.acquirePacket()
+	pkt.key, pkt.bytes = key, bytes
+	pkt.kind, pkt.env, pkt.id = kind, env, id
+	pkt.seq = conn.nextSend
+	conn.nextSend++
+	w.net.TransferTo(w.place.NodeOf(src), w.place.NodeOf(dst), bytes, pkt)
 }
 
-// seqCounters are stored per connection on the sender side; keep them in
-// the connection struct's shadow map to avoid a second map lookup.
-type seqState struct{ next uint64 }
-
-func (w *World) seqCounter(key connKey) uint64 {
-	s := w.seqs[key]
-	if s == nil {
-		s = &seqState{}
-		w.seqs[key] = s
+// acquirePacket takes a packet from the World's pool, or makes one.
+func (w *World) acquirePacket() *packet {
+	if n := len(w.pktFree) - 1; n >= 0 {
+		pkt := w.pktFree[n]
+		w.pktFree[n] = nil
+		w.pktFree = w.pktFree[:n]
+		return pkt
 	}
-	n := s.next
-	s.next++
-	return n
+	return &packet{w: w}
+}
+
+// releasePacket recycles a handled packet, dropping the envelope
+// reference so the pool does not pin completed messages.
+func (w *World) releasePacket(pkt *packet) {
+	pkt.env = nil
+	w.pktFree = append(w.pktFree, pkt)
 }
 
 // arrive delivers a packet to the connection, releasing any consecutive
@@ -113,16 +129,32 @@ func (w *World) seqCounter(key connKey) uint64 {
 func (w *World) arrive(key connKey, pkt *packet) {
 	conn := w.conns[key]
 	if pkt.seq != conn.nextSeq {
-		conn.held = append(conn.held, pkt)
-		sort.Slice(conn.held, func(i, j int) bool { return conn.held[i].seq < conn.held[j].seq })
+		// Insert in seq order (binary search: held is already sorted).
+		lo, hi := 0, len(conn.held)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if conn.held[mid].seq < pkt.seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		conn.held = append(conn.held, nil)
+		copy(conn.held[lo+1:], conn.held[lo:])
+		conn.held[lo] = pkt
 		return
 	}
 	w.handlePacket(key, pkt)
+	w.releasePacket(pkt)
 	conn.nextSeq++
 	for len(conn.held) > 0 && conn.held[0].seq == conn.nextSeq {
 		next := conn.held[0]
-		conn.held = conn.held[1:]
+		n := len(conn.held) - 1
+		copy(conn.held, conn.held[1:])
+		conn.held[n] = nil
+		conn.held = conn.held[:n]
 		w.handlePacket(key, next)
+		w.releasePacket(next)
 		conn.nextSeq++
 	}
 }

@@ -62,7 +62,10 @@ type World struct {
 	// TCP's in-order delivery (a retransmitted message blocks everything
 	// behind it on the same connection).
 	conns map[connKey]*connection
-	seqs  map[connKey]*seqState
+
+	// pktFree recycles transport packets so a steady message stream
+	// allocates no per-packet state.
+	pktFree []*packet
 
 	finish []sim.Time
 }
@@ -84,7 +87,6 @@ func NewWorld(e *sim.Engine, net *netsim.Network, place cluster.Placement) *Worl
 		cpu:      e.RNG("mpi.cpu"),
 		sendReqs: make(map[uint64]*Request),
 		conns:    make(map[connKey]*connection),
-		seqs:     make(map[connKey]*seqState),
 		finish:   make([]sim.Time, place.NumProcs()),
 	}
 	w.ranks = make([]*rankState, place.NumProcs())

@@ -84,7 +84,83 @@ type Network struct {
 	// slept. Tests use it to verify the backoff envelope.
 	retryObs func(srcNode, dstNode, try int, rto float64)
 
+	// freeXfer pools per-message transfer state machines. Each pooled
+	// xfer carries its callbacks prebuilt, so the steady-state send path
+	// allocates neither closures nor state per message.
+	freeXfer []*xfer
+
 	counters Counters
+}
+
+// Receiver is the allocation-free alternative to Transfer's callback: the
+// network delivers completion through the interface, so callers that
+// already have a per-message object (e.g. an MPI packet) avoid building a
+// closure per transfer.
+type Receiver interface {
+	Deliver(TransferStats)
+}
+
+// xfer is the state of one message moving through the fabric, pooled and
+// recycled at delivery. The func fields are bound once when the struct is
+// first created; because the struct is reused, the per-message cost of the
+// whole callback pipeline is zero allocations in steady state.
+type xfer struct {
+	n                *Network
+	srcNode, dstNode int
+	payload          int
+	start            sim.Time
+	try              int
+	done             func(TransferStats)
+	recv             Receiver
+
+	crossSwitch          bool
+	srcSwitch, dstSwitch int
+	stage                int
+	seg, segEnd, segStep int // backplane walk: current, final, direction
+
+	latency sim.Duration // intraNode: host-side delivery latency
+
+	fabricAt   func()                    // arrival at the ingress switch
+	stageNext  func()                    // one store-and-forward hop handed off
+	deliverFn  func(start, end sim.Time) // destination NIC finished receiving
+	retryFn    func()                    // RTO expired: run the next attempt
+	memDoneFn  func(start, end sim.Time) // intraNode: memory bus copy finished
+	memDeliver func()                    // intraNode: delivery after host latency
+}
+
+// Stages of the cross-fabric walk (the backplane state machine).
+const (
+	stageIngress = iota // traversing the source switch's fabric
+	stageSegment        // crossing stacking-backplane segments
+	stageEgress         // traversing the destination switch's fabric
+)
+
+// acquireXfer returns a pooled transfer state machine, creating (and
+// binding the callbacks of) a new one only when the pool is empty.
+func (n *Network) acquireXfer() *xfer {
+	if k := len(n.freeXfer) - 1; k >= 0 {
+		t := n.freeXfer[k]
+		n.freeXfer[k] = nil
+		n.freeXfer = n.freeXfer[:k]
+		return t
+	}
+	t := &xfer{n: n}
+	t.fabricAt = t.enterFabric
+	t.stageNext = t.advance
+	t.deliverFn = t.deliver
+	t.retryFn = t.reattempt
+	t.memDoneFn = t.memDone
+	t.memDeliver = t.memDeliverNow
+	return t
+}
+
+// releaseXfer recycles a completed transfer, dropping caller references so
+// the pool does not pin them.
+func (n *Network) releaseXfer(t *xfer) {
+	t.done = nil
+	t.recv = nil
+	t.try = 0
+	n.freeXfer = append(n.freeXfer, t)
 }
 
 // New builds the network for a cluster configuration. It panics on an
@@ -158,6 +234,18 @@ func (n *Network) jittered(nominal float64) sim.Duration {
 // Host CPU costs (MPI send/receive overheads) are deliberately excluded:
 // they belong to the process and are modelled by internal/mpi.
 func (n *Network) Transfer(srcNode, dstNode, payload int, done func(TransferStats)) {
+	n.transfer(srcNode, dstNode, payload, done, nil)
+}
+
+// TransferTo is Transfer with an interface destination instead of a
+// callback: completion arrives via to.Deliver. Callers that already own a
+// per-message object implement Receiver on it and save the per-transfer
+// closure allocation of the func form.
+func (n *Network) TransferTo(srcNode, dstNode, payload int, to Receiver) {
+	n.transfer(srcNode, dstNode, payload, nil, to)
+}
+
+func (n *Network) transfer(srcNode, dstNode, payload int, done func(TransferStats), recv Receiver) {
 	if srcNode < 0 || srcNode >= n.cfg.Nodes || dstNode < 0 || dstNode >= n.cfg.Nodes {
 		panic(fmt.Sprintf("netsim: transfer %d->%d outside cluster of %d nodes",
 			srcNode, dstNode, n.cfg.Nodes))
@@ -166,186 +254,204 @@ func (n *Network) Transfer(srcNode, dstNode, payload int, done func(TransferStat
 		panic(fmt.Sprintf("netsim: negative payload %d", payload))
 	}
 	n.counters.Transfers++
-	start := n.e.Now()
+	t := n.acquireXfer()
+	t.srcNode, t.dstNode, t.payload = srcNode, dstNode, payload
+	t.start = n.e.Now()
+	t.done, t.recv = done, recv
 	if srcNode == dstNode {
 		n.counters.IntraNode++
-		n.intraNode(srcNode, payload, start, done)
+		t.intraNode()
 		return
 	}
 	n.counters.WireBytes += uint64(n.cfg.WireBytes(payload))
-	n.attempt(srcNode, dstNode, payload, start, 0, done)
+	t.attempt()
+}
+
+// finish hands the completed transfer to its consumer and recycles the
+// state machine. The xfer is released before the callback runs so a
+// consumer that immediately starts another transfer reuses it.
+func (t *xfer) finish(st TransferStats) {
+	done, recv := t.done, t.recv
+	t.n.releaseXfer(t)
+	if done != nil {
+		done(st)
+	} else if recv != nil {
+		recv.Deliver(st)
+	}
 }
 
 // intraNode models a shared-memory copy through the node's memory bus,
 // which both CPUs of an SMP node contend for.
-func (n *Network) intraNode(node, payload int, start sim.Time, done func(TransferStats)) {
-	service := sim.DurationFromSeconds(float64(payload) * 8 / n.cfg.MemRate)
-	latency := n.jittered(n.cfg.MemLatency)
-	n.memBus[node].Enqueue(service, func(_, end sim.Time) {
-		n.e.Schedule(latency, func() {
-			if done != nil {
-				done(TransferStats{Sent: start, Delivered: n.e.Now()})
-			}
-		})
-	})
+func (t *xfer) intraNode() {
+	n := t.n
+	service := sim.DurationFromSeconds(float64(t.payload) * 8 / n.cfg.MemRate)
+	t.latency = n.jittered(n.cfg.MemLatency)
+	n.memBus[t.srcNode].Enqueue(service, t.memDoneFn)
+}
+
+func (t *xfer) memDone(_, _ sim.Time) { t.n.e.Schedule(t.latency, t.memDeliver) }
+
+func (t *xfer) memDeliverNow() {
+	t.finish(TransferStats{Sent: t.start, Delivered: t.n.e.Now()})
 }
 
 // attempt runs one end-to-end transmission try. A drop at the backplane
 // or the destination port triggers a TCP-like retransmission timeout and
 // a full retry from the source, exactly as a lost segment would.
-func (n *Network) attempt(srcNode, dstNode, payload int, start sim.Time, try int, done func(TransferStats)) {
+func (t *xfer) attempt() {
+	n := t.n
 	cfg := &n.cfg
-	wire := cfg.WireBytes(payload)
+	wire := cfg.WireBytes(t.payload)
 
 	// NIC outage windows lose the attempt outright — the segment went
 	// onto a dead wire — and the sender discovers it via the TCP timeout.
 	// This checks only the schedule (no RNG), so it is deterministic.
-	if n.sched.NICDown(srcNode, n.e.Now()) || n.sched.NICDown(dstNode, n.e.Now()) {
+	if n.sched.NICDown(t.srcNode, n.e.Now()) || n.sched.NICDown(t.dstNode, n.e.Now()) {
 		n.counters.FaultDrops++
-		n.retry(srcNode, dstNode, payload, start, try, done)
+		n.retry(t)
 		return
 	}
 
 	// Link degradation stretches the serialisation time: the NIC clocks
 	// bits onto the wire at a fraction of the nominal rate.
-	txRate := cfg.LinkRate * n.sched.LinkFactor(srcNode, n.e.Now())
+	txRate := cfg.LinkRate * n.sched.LinkFactor(t.srcNode, n.e.Now())
 	txService := sim.DurationFromSeconds(float64(wire) * 8 / txRate)
 
-	txEnd := n.nicTx[srcNode].Enqueue(txService, nil)
+	txEnd := n.nicTx[t.srcNode].Enqueue(txService, nil)
 	txStart := txEnd.Add(-txService)
 
 	// The first frame must be fully received by the switch before it can
 	// be forwarded (store-and-forward), then crosses one hop.
-	sfDelay := sim.DurationFromSeconds(cfg.FrameTime(payload)) + n.jittered(cfg.SwitchLatency)
+	sfDelay := sim.DurationFromSeconds(cfg.FrameTime(t.payload)) + n.jittered(cfg.SwitchLatency)
 
-	crossSwitch := cfg.SwitchOf(srcNode) != cfg.SwitchOf(dstNode)
-	afterFabric := func() {
-		// Destination port: drop if its buffers have overflowed. The
-		// congestion check runs first so healthy runs consume the loss
-		// stream identically whether or not a schedule is installed.
-		if n.dropped(n.nicRx[dstNode].Backlog(), cfg.NICBufferDelay()) {
-			n.retry(srcNode, dstNode, payload, start, try, done)
-			return
-		}
-		if boost := n.sched.DropBoost(dstNode, n.e.Now()); boost > 0 && n.loss.Bool(boost) {
-			n.counters.FaultDrops++
-			n.retry(srcNode, dstNode, payload, start, try, done)
-			return
-		}
-		// The delivered stream cannot run faster than the slowest link on
-		// the path: a degraded source NIC throttles the whole pipeline,
-		// not just its own transmit queue.
-		lf := n.sched.LinkFactor(dstNode, n.e.Now())
-		if src := n.sched.LinkFactor(srcNode, n.e.Now()); src < lf {
-			lf = src
-		}
-		rxService := sim.DurationFromSeconds(float64(wire) * 8 / (cfg.LinkRate * lf))
-		n.nicRx[dstNode].Enqueue(rxService, func(_, end sim.Time) {
-			if crossSwitch {
-				n.counters.CrossSwitch++
-			}
-			if done == nil {
-				return
-			}
-			done(TransferStats{
-				Sent:        start,
-				Delivered:   end,
-				Retries:     try,
-				CrossSwitch: crossSwitch,
-			})
-		})
+	t.srcSwitch, t.dstSwitch = cfg.SwitchOf(t.srcNode), cfg.SwitchOf(t.dstNode)
+	t.crossSwitch = t.srcSwitch != t.dstSwitch
+	t.stage = stageIngress
+	n.e.At(txStart.Add(sfDelay), t.fabricAt)
+}
+
+// enterFabric starts the ingress switch fabric traversal. The 510T's
+// 2.1 Gbit/s fabric is shared by all 24 ports, so a busy switch congests
+// internally even before the backplane is involved.
+func (t *xfer) enterFabric() {
+	if t.n.traverseStage(t.n.fabrics[t.srcSwitch], -1, t.payload, true, t.stageNext) {
+		t.n.retry(t)
 	}
+}
 
-	dropAndRetry := func() { n.retry(srcNode, dstNode, payload, start, try, done) }
-	srcSwitch, dstSwitch := cfg.SwitchOf(srcNode), cfg.SwitchOf(dstNode)
-	n.e.At(txStart.Add(sfDelay), func() {
-		// Ingress switch fabric. The 510T's 2.1 Gbit/s fabric is shared
-		// by all 24 ports, so a busy switch congests internally.
-		n.traverse(n.fabrics[srcSwitch], payload, func(dropped bool) {
-			if dropped {
-				dropAndRetry()
-				return
+// advance is called each time a store-and-forward hop hands the message
+// off un-dropped, and moves the walk to the next stage: ingress fabric,
+// then (cross-switch only) each stacking segment in travel order — the
+// chain whose saturation produces the paper's Figure 4 tails — then the
+// egress fabric, then the destination port.
+func (t *xfer) advance() {
+	n := t.n
+	switch t.stage {
+	case stageIngress:
+		if !t.crossSwitch {
+			t.afterFabric()
+			return
+		}
+		// Segment i joins switch i and i+1, so the path from switch a to
+		// switch b uses segments min(a,b) .. max(a,b)-1, in travel order.
+		t.stage = stageSegment
+		if t.srcSwitch < t.dstSwitch {
+			t.seg, t.segEnd, t.segStep = t.srcSwitch, t.dstSwitch-1, 1
+		} else {
+			t.seg, t.segEnd, t.segStep = t.srcSwitch-1, t.dstSwitch, -1
+		}
+		if n.traverseStage(n.segments[t.seg], t.seg, t.payload, false, t.stageNext) {
+			n.retry(t)
+		}
+	case stageSegment:
+		if t.seg == t.segEnd {
+			t.stage = stageEgress
+			if n.traverseStage(n.fabrics[t.dstSwitch], -1, t.payload, true, t.stageNext) {
+				n.retry(t)
 			}
-			if !crossSwitch {
-				afterFabric()
-				return
-			}
-			// Inter-switch path: cross the stacking backplane one
-			// segment at a time — the chain whose saturation produces
-			// the paper's Figure 4 tails — then the egress fabric.
-			n.crossSegments(srcSwitch, dstSwitch, payload, func(dropped bool) {
-				if dropped {
-					dropAndRetry()
-					return
-				}
-				n.traverse(n.fabrics[dstSwitch], payload, func(dropped bool) {
-					if dropped {
-						dropAndRetry()
-						return
-					}
-					afterFabric()
-				})
-			})
-		})
+			return
+		}
+		t.seg += t.segStep
+		if n.traverseStage(n.segments[t.seg], t.seg, t.payload, false, t.stageNext) {
+			n.retry(t)
+		}
+	case stageEgress:
+		t.afterFabric()
+	}
+}
+
+// afterFabric is the destination port: the last hop from the egress
+// switch into the receiving host's NIC.
+func (t *xfer) afterFabric() {
+	n := t.n
+	cfg := &n.cfg
+	// Drop if the port's buffers have overflowed. The congestion check
+	// runs first so healthy runs consume the loss stream identically
+	// whether or not a schedule is installed.
+	if n.dropped(n.nicRx[t.dstNode].Backlog(), cfg.NICBufferDelay()) {
+		n.retry(t)
+		return
+	}
+	if boost := n.sched.DropBoost(t.dstNode, n.e.Now()); boost > 0 && n.loss.Bool(boost) {
+		n.counters.FaultDrops++
+		n.retry(t)
+		return
+	}
+	// The delivered stream cannot run faster than the slowest link on
+	// the path: a degraded source NIC throttles the whole pipeline,
+	// not just its own transmit queue.
+	lf := n.sched.LinkFactor(t.dstNode, n.e.Now())
+	if src := n.sched.LinkFactor(t.srcNode, n.e.Now()); src < lf {
+		lf = src
+	}
+	wire := cfg.WireBytes(t.payload)
+	rxService := sim.DurationFromSeconds(float64(wire) * 8 / (cfg.LinkRate * lf))
+	n.nicRx[t.dstNode].Enqueue(rxService, t.deliverFn)
+}
+
+func (t *xfer) deliver(_, end sim.Time) {
+	if t.crossSwitch {
+		t.n.counters.CrossSwitch++
+	}
+	t.finish(TransferStats{
+		Sent:        t.start,
+		Delivered:   end,
+		Retries:     t.try,
+		CrossSwitch: t.crossSwitch,
 	})
 }
 
-// crossSegments forwards a message across the backplane segments between
-// two switches, one store-and-forward hop at a time, checking each
-// segment's buffers for overflow. next is called with dropped=true the
-// moment any segment drops the message.
-func (n *Network) crossSegments(srcSwitch, dstSwitch, payload int, next func(dropped bool)) {
-	// Segment i joins switch i and i+1, so the path from switch a to
-	// switch b uses segments min(a,b) .. max(a,b)-1, in travel order.
-	var path []int
-	if srcSwitch < dstSwitch {
-		for s := srcSwitch; s < dstSwitch; s++ {
-			path = append(path, s)
-		}
-	} else {
-		for s := srcSwitch - 1; s >= dstSwitch; s-- {
-			path = append(path, s)
-		}
-	}
-	var step func(i int)
-	step = func(i int) {
-		n.traverseStage(n.segments[path[i]], path[i], payload, false, func(dropped bool) {
-			if dropped || i == len(path)-1 {
-				next(dropped)
-				return
-			}
-			step(i + 1)
-		})
-	}
-	step(0)
+// reattempt runs when the retransmission timeout expires.
+func (t *xfer) reattempt() {
+	t.try++
+	t.attempt()
 }
 
-// traverse sends a message through one backplane-speed stage (a switch
-// fabric or a stacking segment): it consumes the full message's worth of
-// the stage's capacity — bits at the stack rate plus per-frame
+// traverseStage sends a message through one backplane-speed stage (a
+// switch fabric or a stacking segment): it consumes the full message's
+// worth of the stage's capacity — bits at the stack rate plus per-frame
 // forwarding time — but hands off downstream cut-through style, one
 // frame after the stage starts serving the message, so large messages
 // pipeline across stages instead of paying store-and-forward per stage.
 // The handoff respects queueing: if the stage is backed up, the message
 // waits its full turn.
-func (n *Network) traverse(s *sim.Serializer, payload int, next func(dropped bool)) {
-	n.traverseStage(s, -1, payload, true, next)
-}
-
-// traverseStage implements traverse. Switch fabrics (perFrame=true,
-// seg=-1) pay the forwarding engine's per-frame processing on top of the
-// bit rate; stacking segments (perFrame=false, seg = segment index) are
-// simple TDM pipes that move bits at the stack rate only — which is why
-// small-message contention is a fabric phenomenon while the backplane
-// only matters once large transfers approach its bit capacity. A
-// BackplaneDegrade fault scales the segment's rate down.
-func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bool, next func(dropped bool)) {
+//
+// Switch fabrics (perFrame=true, seg=-1) pay the forwarding engine's
+// per-frame processing on top of the bit rate; stacking segments
+// (perFrame=false, seg = segment index) are simple TDM pipes that move
+// bits at the stack rate only — which is why small-message contention is
+// a fabric phenomenon while the backplane only matters once large
+// transfers approach its bit capacity. A BackplaneDegrade fault scales
+// the segment's rate down.
+//
+// A buffer overflow claims the message immediately and traverseStage
+// reports it by returning true; otherwise arrive fires at handoff time.
+func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bool, arrive func()) (droppedNow bool) {
 	if wait := s.Backlog(); wait > n.counters.MaxStackWait {
 		n.counters.MaxStackWait = wait
 	}
 	if n.dropped(s.Backlog(), n.cfg.StackBufferDelay()) {
-		next(true)
-		return
+		return true
 	}
 	rate := n.cfg.StackRate
 	if seg >= 0 {
@@ -369,7 +475,8 @@ func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bo
 	service := sim.DurationFromSeconds(serviceSec)
 	end := s.Enqueue(service, nil)
 	handoff := end.Add(-service).Add(sim.DurationFromSeconds(oneFrame)).Add(n.jittered(n.cfg.SwitchLatency))
-	n.e.At(handoff, func() { next(false) })
+	n.e.At(handoff, arrive)
+	return false
 }
 
 // dropped decides whether congestion claims this message.
@@ -381,9 +488,9 @@ func (n *Network) dropped(backlog sim.Duration, threshold float64) bool {
 // retry schedules a retransmission after the TCP timeout, with
 // exponential backoff capped to keep simulated time bounded under
 // pathological saturation.
-func (n *Network) retry(srcNode, dstNode, payload int, start sim.Time, try int, done func(TransferStats)) {
+func (n *Network) retry(t *xfer) {
 	n.counters.Retries++
-	exp := try
+	exp := t.try
 	if exp > 5 {
 		exp = 5
 	}
@@ -394,11 +501,9 @@ func (n *Network) retry(srcNode, dstNode, payload int, start sim.Time, try int, 
 	// ±10% jitter so synchronized losses do not retransmit in lock-step.
 	rto *= 0.9 + 0.2*n.jitter.Float64()
 	if n.retryObs != nil {
-		n.retryObs(srcNode, dstNode, try, rto)
+		n.retryObs(t.srcNode, t.dstNode, t.try, rto)
 	}
-	n.e.Schedule(sim.DurationFromSeconds(rto), func() {
-		n.attempt(srcNode, dstNode, payload, start, try+1, done)
-	})
+	n.e.Schedule(sim.DurationFromSeconds(rto), t.retryFn)
 }
 
 // Utilization summarises how busy each class of resource has been over

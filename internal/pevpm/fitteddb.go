@@ -110,18 +110,31 @@ func (db *FittedDB) Report() []FitPoint {
 	return out
 }
 
-// fittedProcsList mirrors procsList for fitted grids.
-func fittedProcsList(grid []fittedEntry) []int {
-	out := make([]int, len(grid))
-	for i, e := range grid {
-		out[i] = e.procs
+// bracketFitted mirrors bracketDB for fitted grids: bracket over the
+// procs column without a throwaway slice per lookup.
+func bracketFitted(grid []fittedEntry, value int) (lo, hi int, w float64) {
+	if value <= grid[0].procs {
+		return 0, 0, 0
 	}
-	return out
+	n := len(grid)
+	if value >= grid[n-1].procs {
+		return n - 1, n - 1, 0
+	}
+	hi = 1
+	for grid[hi].procs < value {
+		hi++
+	}
+	if grid[hi].procs == value {
+		return hi, hi, 0
+	}
+	lo = hi - 1
+	w = float64(value-grid[lo].procs) / float64(grid[hi].procs-grid[lo].procs)
+	return lo, hi, w
 }
 
 // atFitted picks the four bracketing grid points and blends f over them.
 func atFitted(grid []fittedEntry, size, contention int, f func(d stats.Dist) float64) float64 {
-	pLo, pHi, pw := bracket(fittedProcsList(grid), contention)
+	pLo, pHi, pw := bracketFitted(grid, contention)
 	blendEntry := func(e fittedEntry) float64 {
 		sLo, sHi, sw := bracket(e.sizes, size)
 		lo := f(e.dists[sLo])

@@ -145,10 +145,33 @@ func procsList(grid []dbEntry) []int {
 	return out
 }
 
+// bracketDB is bracket over a grid's procs column. It avoids
+// materialising a []int per lookup — at() runs once per Monte-Carlo
+// draw, so that throwaway slice dominated the evaluator's allocations.
+func bracketDB(grid []dbEntry, value int) (lo, hi int, w float64) {
+	if value <= grid[0].procs {
+		return 0, 0, 0
+	}
+	n := len(grid)
+	if value >= grid[n-1].procs {
+		return n - 1, n - 1, 0
+	}
+	hi = 1
+	for grid[hi].procs < value {
+		hi++
+	}
+	if grid[hi].procs == value {
+		return hi, hi, 0
+	}
+	lo = hi - 1
+	w = float64(value-grid[lo].procs) / float64(grid[hi].procs-grid[lo].procs)
+	return lo, hi, w
+}
+
 // at evaluates f over the four bracketing (procs, size) grid points and
 // blends bilinearly.
 func at(grid []dbEntry, size, contention int, f func(h *stats.Histogram) float64) float64 {
-	pLo, pHi, pw := bracket(procsList(grid), contention)
+	pLo, pHi, pw := bracketDB(grid, contention)
 	blendEntry := func(e dbEntry) float64 {
 		sLo, sHi, sw := bracket(e.sizes, size)
 		lo := f(e.hists[sLo])

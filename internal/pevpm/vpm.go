@@ -142,10 +142,31 @@ type machine struct {
 
 	procs   []*mproc
 	flights []*flight
-	seq     uint64
-	sent    uint64
-	sweeps  int
-	hot     map[Node]float64
+	// flightFree recycles matched flight records: a long model run moves
+	// many messages but only a bounded number are ever in the air at once.
+	flightFree []*flight
+	seq        uint64
+	sent       uint64
+	sweeps     int
+	hot        map[Node]float64
+}
+
+// newFlight takes a flight record from the machine's pool, or makes one.
+func (m *machine) newFlight() *flight {
+	if n := len(m.flightFree) - 1; n >= 0 {
+		f := m.flightFree[n]
+		m.flightFree[n] = nil
+		m.flightFree = m.flightFree[:n]
+		return f
+	}
+	return &flight{}
+}
+
+// freeFlight recycles a matched flight, dropping its node and sender
+// references.
+func (m *machine) freeFlight(f *flight) {
+	*f = flight{}
+	m.flightFree = append(m.flightFree, f)
 }
 
 func (m *machine) run() (*Report, error) {
@@ -458,11 +479,10 @@ func (m *machine) execMsg(p *mproc, env Env, node *Msg) error {
 		p.bd.SendBusy += busy
 		m.seq++
 		m.sent++
-		f := &flight{
-			seq: m.seq, from: from, to: to, size: size,
-			intra:  m.opts.NodeOf != nil && m.opts.NodeOf(from) == m.opts.NodeOf(to),
-			depart: p.now, node: node,
-		}
+		f := m.newFlight()
+		f.seq, f.from, f.to, f.size = m.seq, from, to, size
+		f.intra = m.opts.NodeOf != nil && m.opts.NodeOf(from) == m.opts.NodeOf(to)
+		f.depart, f.node = p.now, node
 		m.flights = append(m.flights, f)
 		if node.Kind == MsgSend && size > m.opts.DB.EagerLimit() {
 			// Rendezvous: the send blocks until the payload is
@@ -568,6 +588,7 @@ func (m *machine) match() bool {
 		p.now = completion
 		p.state = stateRunnable
 		m.flights = append(m.flights[:bestIdx], m.flights[bestIdx+1:]...)
+		m.freeFlight(best)
 		progress = true
 	}
 	return progress

@@ -1,0 +1,106 @@
+package sim
+
+import "testing"
+
+// TestScheduleZeroAllocSteadyState is the tentpole's allocation guarantee:
+// once the event pool and heap are warm, a schedule→pop cycle performs no
+// heap allocations at all.
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the pool and the heap's backing array past anything the
+	// measured loop will need.
+	for i := 0; i < 4*eventChunk; i++ {
+		e.Schedule(Millisecond, fn)
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(Millisecond, fn)
+		if _, err := e.Run(Forever); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule→pop allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestCancelZeroAllocSteadyState: cancelling recycles the struct without
+// allocating either.
+func TestCancelZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4*eventChunk; i++ {
+		e.Schedule(Millisecond, fn)
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := e.Schedule(Millisecond, fn)
+		if !h.Cancel() {
+			t.Fatal("Cancel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule→cancel allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 4*eventChunk; i++ {
+		e.Schedule(Millisecond, fn)
+	}
+	if _, err := e.Run(Forever); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Millisecond, fn)
+		if i%64 == 63 {
+			if _, err := e.Run(Forever); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Run(Forever); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := e.Schedule(Millisecond, fn)
+		h.Cancel()
+	}
+}
+
+// BenchmarkHeapChurn stresses the four-ary heap with a deep queue: many
+// pending timers with interleaved pushes and pops, the shape of a netsim
+// retransmission storm.
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		e.Schedule(Duration(i)*Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(depth+i)*Microsecond, fn)
+		if len(e.events) > 0 {
+			ev := e.heapPop()
+			e.now = ev.at
+			e.recycle(ev)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,60 +10,47 @@ import (
 // An event is a callback scheduled at a point in virtual time. Events with
 // equal timestamps execute in scheduling order (seq breaks ties), which
 // keeps simulations deterministic.
+//
+// Events are pooled: the engine recycles the struct on a free list the
+// moment the event fires or is cancelled, so steady-state scheduling
+// performs no heap allocations. The generation counter distinguishes the
+// lives of a recycled struct — a handle from a previous life can neither
+// cancel nor observe the event now occupying the struct.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // position in the heap, -1 once popped or cancelled
-	canceled bool
+	at    Time
+	seq   uint64
+	fn    func()
+	gen   uint64
+	index int32 // position in the heap, -1 when popped, cancelled or free
 }
 
 // EventHandle allows a scheduled event to be cancelled before it fires.
-type EventHandle struct{ ev *event }
+// It is a small value; copying it is cheap and all copies refer to the
+// same scheduled event.
+type EventHandle struct {
+	e   *Engine
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op. Returns true if the event
-// was still pending.
-func (h *EventHandle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+// Cancel prevents the event from firing and removes it from the queue
+// immediately, so cancelled events neither linger in the heap nor delay
+// deadlock detection. Cancelling an event that already fired (or was
+// already cancelled) is a no-op. Returns true if the event was still
+// pending.
+func (h EventHandle) Cancel() bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return false
 	}
-	h.ev.canceled = true
+	h.e.heapRemove(int(ev.index))
+	h.e.recycle(ev)
 	return true
 }
 
 // Pending reports whether the event is still waiting to fire.
-func (h *EventHandle) Pending() bool {
-	return h != nil && h.ev != nil && !h.ev.canceled && h.ev.index >= 0
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+func (h EventHandle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
 }
 
 // ErrDeadlock is returned (wrapped) by Run when the event queue drains
@@ -75,8 +61,14 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // concurrent use; all model code runs on the engine's schedule, either as
 // event callbacks or as processes interleaved one at a time.
 type Engine struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a four-ary indexed min-heap ordered by (at, seq). Four-ary
+	// halves the tree depth of the binary heap and keeps children of a
+	// node in one cache line, which measurably speeds the pop-heavy hot
+	// loop; the index stored in each event makes Cancel an O(log n)
+	// removal instead of a deferred tombstone.
+	events []*event
+	free   []*event // recycled event structs, reused by At
 	seq    uint64
 
 	seed uint64
@@ -121,8 +113,39 @@ func (e *Engine) RNG(name string) *RNG {
 	return r
 }
 
+// eventChunk is how many event structs one pool refill allocates. Batching
+// keeps warm-up allocation count low without holding more than a few KiB
+// per idle engine.
+const eventChunk = 64
+
+// alloc returns an event struct, reusing a recycled one when available.
+func (e *Engine) alloc() *event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		return ev
+	}
+	chunk := make([]event, eventChunk)
+	for i := range chunk[1:] {
+		chunk[1+i].index = -1
+		e.free = append(e.free, &chunk[1+i])
+	}
+	chunk[0].index = -1
+	return &chunk[0]
+}
+
+// recycle retires an event struct to the free list. Bumping the
+// generation invalidates every handle to the life that just ended, and
+// dropping fn releases the callback's closure to the collector.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // Schedule runs fn after delay (>= 0) of virtual time.
-func (e *Engine) Schedule(delay Duration, fn func()) *EventHandle {
+func (e *Engine) Schedule(delay Duration, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -130,14 +153,17 @@ func (e *Engine) Schedule(delay Duration, fn func()) *EventHandle {
 }
 
 // At runs fn at absolute virtual time t, which must not be in the past.
-func (e *Engine) At(t Time, fn func()) *EventHandle {
+func (e *Engine) At(t Time, fn func()) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &EventHandle{ev: ev}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.heapPush(ev)
+	return EventHandle{e: e, ev: ev, gen: ev.gen}
 }
 
 // Stop makes Run return after the current event completes.
@@ -163,12 +189,11 @@ func (e *Engine) Run(until Time) (Time, error) {
 			e.now = until
 			return e.now, nil
 		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			continue
-		}
+		e.heapPop()
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		fn()
 	}
 	if blocked := e.blockedProcs(); len(blocked) > 0 && !e.stopped {
 		return e.now, fmt.Errorf("%w: %d process(es) blocked forever: %s",
@@ -190,6 +215,106 @@ func (e *Engine) blockedProcs() []string {
 	return names
 }
 
-// Pending reports how many events are waiting in the queue (including
-// cancelled ones not yet popped); it is intended for tests.
+// Pending reports how many events are waiting in the queue. Cancelled
+// events are removed eagerly, so the count is exact.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// eventLess orders the heap by timestamp, breaking ties by scheduling
+// order so simultaneous events run FIFO.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts ev into the four-ary heap.
+func (e *Engine) heapPush(ev *event) {
+	ev.index = int32(len(e.events))
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.events[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// heapRemove deletes the event at heap position i (Cancel's eager
+// removal path).
+func (e *Engine) heapRemove(i int) {
+	h := e.events
+	ev := h[i]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if i < n {
+		e.events[i] = last
+		last.index = int32(i)
+		e.siftDown(i)
+		if e.events[i] == last {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = int32(i)
+		i = min
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}

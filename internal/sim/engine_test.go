@@ -91,17 +91,110 @@ func TestCancel(t *testing.T) {
 	if !h.Pending() {
 		t.Fatal("handle should be pending")
 	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
 	if !h.Cancel() {
 		t.Fatal("Cancel should succeed on pending event")
 	}
+	// Eager removal: the cancelled event leaves the queue immediately
+	// instead of lingering as a tombstone until its timestamp.
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Cancel, want 0", e.Pending())
+	}
 	if h.Cancel() {
 		t.Fatal("second Cancel should report false")
+	}
+	if h.Pending() {
+		t.Fatal("handle still pending after Cancel")
 	}
 	if _, err := e.Run(Forever); err != nil {
 		t.Fatal(err)
 	}
 	if fired {
 		t.Error("cancelled event fired")
+	}
+}
+
+// TestCancelDoesNotDragClock pins the eager-removal behaviour: a
+// cancelled far-future timer no longer forces Run to sweep virtual time
+// forward to its timestamp before noticing the queue is empty.
+func TestCancelDoesNotDragClock(t *testing.T) {
+	e := NewEngine(1)
+	h := e.Schedule(3600*Second, func() { t.Error("cancelled event fired") })
+	h.Cancel()
+	end, err := e.Run(Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Errorf("Run ended at %v, want 0 (no live events)", end)
+	}
+}
+
+// TestStaleHandleCannotTouchRecycledEvent pins the generation counter:
+// once an event fires its struct is recycled, and a handle from the
+// previous life must neither report Pending nor Cancel the new occupant.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.Schedule(Millisecond, func() {})
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if stale.Pending() {
+		t.Fatal("handle pending after its event fired")
+	}
+	// The free list is LIFO, so this reuses the struct stale points at.
+	fired := false
+	fresh := e.Schedule(Millisecond, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("test setup: second event did not recycle the first struct")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle observes the recycled event")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("recycled event was suppressed by a stale handle")
+	}
+}
+
+// TestCancelMiddleOfHeap exercises heapRemove at interior positions: the
+// surviving events must still run in timestamp order.
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var handles []EventHandle
+	for i := 0; i < 32; i++ {
+		i := i
+		handles = append(handles, e.Schedule(Duration(i+1)*Millisecond, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 32; i += 3 {
+		if !handles[i].Cancel() {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	if want := 32 - 11; e.Pending() != want {
+		t.Fatalf("Pending() = %d, want %d", e.Pending(), want)
+	}
+	if _, err := e.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, i := range got {
+		if i%3 == 0 {
+			t.Errorf("cancelled event %d fired", i)
+		}
+		if i <= prev {
+			t.Errorf("events out of order: %v", got)
+			break
+		}
+		prev = i
 	}
 }
 

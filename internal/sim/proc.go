@@ -31,11 +31,26 @@ type Proc struct {
 	name   string
 	state  procState
 	reason string // what the process is blocked on, for deadlock reports
+	// reasonOn, when non-nil, describes the blocked operation lazily via
+	// BlockReason — the hot path stores one interface word instead of
+	// formatting a string nobody reads unless the simulation deadlocks.
+	reasonOn BlockReasoner
+
+	// wakeFn is the wake method bound once at Spawn so that Sleep and
+	// Unblock schedule it without allocating a method value per call.
+	wakeFn func()
 
 	resume chan procSignal
 	// yield transfers control back to the engine; a non-nil value is a
 	// panic from the process body, re-raised in engine context.
 	yield chan any
+}
+
+// BlockReasoner describes a blocked operation on demand. BlockOn stores
+// the value and only calls BlockReason if a deadlock report or diagnostic
+// needs the text, keeping string formatting off the simulation hot path.
+type BlockReasoner interface {
+	BlockReason() string
 }
 
 // Spawn creates a process and schedules its body to start at the current
@@ -47,6 +62,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan procSignal),
 		yield:  make(chan any),
 	}
+	p.wakeFn = p.wake
 	e.procs[p] = struct{}{}
 	go func() {
 		if sig := <-p.resume; sig == sigKill {
@@ -66,7 +82,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	e.Schedule(0, p.wake)
+	e.Schedule(0, p.wakeFn)
 	e.Tracef("spawn %s", name)
 	return p
 }
@@ -109,7 +125,7 @@ func (p *Proc) Now() Time { return p.e.now }
 func (p *Proc) Sleep(d Duration) {
 	p.checkCurrent("Sleep")
 	p.state = procSleeping
-	p.e.Schedule(d, p.wake)
+	p.e.Schedule(d, p.wakeFn)
 	p.park()
 }
 
@@ -128,6 +144,18 @@ func (p *Proc) Block(reason string) {
 	p.reason = ""
 }
 
+// BlockOn parks the process like Block, but the reason is produced
+// on demand from r only if a deadlock report or BlockedOn query needs it.
+// Hot paths that would otherwise format a fresh string per wait (MPI's
+// Wait/Waitall) pass their request object instead.
+func (p *Proc) BlockOn(r BlockReasoner) {
+	p.checkCurrent("Block")
+	p.state = procBlocked
+	p.reasonOn = r
+	p.park()
+	p.reasonOn = nil
+}
+
 // Unblock makes a blocked process runnable at the current virtual time.
 // It is a no-op unless the process is currently blocked, so it is always
 // safe to call; waiters must re-check their condition after waking.
@@ -136,7 +164,7 @@ func (p *Proc) Unblock() {
 		return
 	}
 	p.state = procReady
-	p.e.Schedule(0, p.wake)
+	p.e.Schedule(0, p.wakeFn)
 }
 
 // Done reports whether the process body has returned.
@@ -149,17 +177,24 @@ func (p *Proc) Blocked() bool { return p.state == procBlocked }
 // passed to Block), or "" when it is not blocked. Diagnostic tooling
 // uses it to name a stuck process's pending operation.
 func (p *Proc) BlockedOn() string {
-	if p.state == procBlocked {
-		return p.reason
+	if p.state != procBlocked {
+		return ""
 	}
-	return ""
+	if p.reasonOn != nil {
+		return p.reasonOn.BlockReason()
+	}
+	return p.reason
 }
 
 func (p *Proc) describeBlocked() string {
-	if p.reason == "" {
+	reason := p.reason
+	if p.reasonOn != nil {
+		reason = p.reasonOn.BlockReason()
+	}
+	if reason == "" {
 		return p.name
 	}
-	return p.name + " (" + p.reason + ")"
+	return p.name + " (" + reason + ")"
 }
 
 func (p *Proc) checkCurrent(op string) {

@@ -115,11 +115,21 @@ func (h *Histogram) rebuild() {
 	if !h.dirty && h.cumBins != nil {
 		return
 	}
+	// The memo must end up non-nil even for an empty histogram, or Freeze's
+	// "no later query mutates the histogram" guarantee breaks: nil[:0] is
+	// still nil, so every Quantile/CDF/Bins call would re-enter rebuild and
+	// race under concurrent sampling.
+	if h.cumBins == nil {
+		h.cumBins = make([]binCount, 0, len(h.bins))
+	}
 	h.cumBins = h.cumBins[:0]
 	for idx, c := range h.bins {
 		h.cumBins = append(h.cumBins, binCount{idx, c})
 	}
 	sort.Slice(h.cumBins, func(i, j int) bool { return h.cumBins[i].index < h.cumBins[j].index })
+	if h.cumTotals == nil {
+		h.cumTotals = make([]uint64, 0, len(h.cumBins))
+	}
 	h.cumTotals = h.cumTotals[:0]
 	var total uint64
 	for _, bc := range h.cumBins {
@@ -181,10 +191,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	h.rebuild()
 	target := q * float64(h.sum.N)
-	i := sort.Search(len(h.cumTotals), func(i int) bool {
-		return float64(h.cumTotals[i]) >= target
-	})
-	bc := h.cumBins[i]
+	// Lower bound (first cumulative total >= target), written out so the
+	// frozen read path performs zero allocations (no sort.Search closure).
+	lo, hi := 0, len(h.cumTotals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(h.cumTotals[mid]) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bc := h.cumBins[lo]
+	i := lo
 	var below uint64
 	if i > 0 {
 		below = h.cumTotals[i-1]
@@ -201,7 +220,16 @@ func (h *Histogram) CDF(x float64) float64 {
 	}
 	h.rebuild()
 	xi := h.binIndex(x)
-	i := sort.Search(len(h.cumBins), func(i int) bool { return h.cumBins[i].index >= xi })
+	lo, hi := 0, len(h.cumBins)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.cumBins[mid].index >= xi {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	var below uint64
 	if i > 0 {
 		below = h.cumTotals[i-1]
@@ -224,8 +252,24 @@ func (h *Histogram) Sample(r Rand) float64 {
 	}
 	h.rebuild()
 	target := uint64(r.Float64() * float64(h.sum.N))
-	i := sort.Search(len(h.cumTotals), func(i int) bool { return h.cumTotals[i] > target })
-	bc := h.cumBins[i]
+	if target >= h.sum.N {
+		// Rand.Float64 contracts to [0,1), but a value rounding to 1.0 (or
+		// an out-of-contract implementation returning exactly 1) would push
+		// the search past the last bin and index out of range. Clamp to the
+		// final observation instead of panicking.
+		target = h.sum.N - 1
+	}
+	// Upper bound: first cumulative total > target, allocation-free.
+	lo, hi := 0, len(h.cumTotals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.cumTotals[mid] > target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bc := h.cumBins[lo]
 	return (float64(bc.index) + r.Float64()) * h.binWidth
 }
 
