@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
+.PHONY: all build vet test race lint staticcheck coverage ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
 
 all: build
 
@@ -23,6 +23,18 @@ race:
 # model and lint fixture, checking each file's expected exit code.
 lint:
 	./scripts/lint_sweep.sh
+
+# staticcheck runs the pinned honnef.co staticcheck sweep via `go run`
+# (nothing is vendored). Offline environments skip with a notice; CI
+# always has the module proxy and runs the real check.
+staticcheck:
+	./scripts/staticcheck.sh
+
+# coverage gates per-package test coverage against the committed floor
+# in scripts/coverage_floor.txt (>1pt regression fails). Refresh the
+# floor with `./scripts/coverage_gate.sh -update` after improving it.
+coverage:
+	./scripts/coverage_gate.sh
 
 # bench regenerates the benchmark ledger: every figure at reduced
 # density, with figure metrics and calibration-normalised wall times.
@@ -44,18 +56,27 @@ bench-baseline:
 # optimisation PRs cannot silently change simulated results
 # (cmd/repro/testdata/golden_seed1.txt; regenerate it only when a PR
 # deliberately changes model behaviour, and say so in the PR).
+# The instrument snapshot (-metrics) is held to the same standard as
+# the figures: byte-identical across worker counts and matching its own
+# golden file (cmd/repro/testdata/golden_metrics_seed1.json).
 determinism:
-	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives -parallel=1 > /tmp/repro-serial.txt
-	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives > /tmp/repro-parallel.txt
+	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives -parallel=1 -metrics /tmp/repro-metrics-serial.json > /tmp/repro-serial.txt
+	$(GO) run ./cmd/repro -seed 1 -timing=false -collectives -metrics /tmp/repro-metrics-parallel.json > /tmp/repro-parallel.txt
 	diff /tmp/repro-serial.txt /tmp/repro-parallel.txt
 	diff /tmp/repro-serial.txt cmd/repro/testdata/golden_seed1.txt
-	@echo "determinism: serial and parallel outputs are byte-identical and match the golden transcript"
+	diff /tmp/repro-metrics-serial.json /tmp/repro-metrics-parallel.json
+	diff /tmp/repro-metrics-serial.json cmd/repro/testdata/golden_metrics_seed1.json
+	@echo "determinism: serial and parallel outputs and metrics are byte-identical and match the golden files"
 
 # profile captures CPU and allocation pprof profiles of the quick repro
 # sweep into profiles/ (gitignored). Inspect with
 # `go tool pprof profiles/cpu.pprof` — see docs/PERFORMANCE.md.
+# Stale artifacts are removed first: ci.sh gates on `test -s`, which a
+# leftover profile from an earlier run would satisfy even if this run
+# failed to write one.
 profile:
 	mkdir -p profiles
+	rm -f profiles/*.pprof
 	$(GO) run ./cmd/repro -seed 1 -timing=false -cpuprofile profiles/cpu.pprof -memprofile profiles/allocs.pprof > /dev/null
 	@echo "profile: wrote profiles/cpu.pprof and profiles/allocs.pprof"
 
@@ -70,10 +91,11 @@ faults-smoke:
 # sweep: fault windows, perturbed benches and predictions must be
 # byte-identical between -parallel=1 and the default worker count.
 determinism-faults:
-	$(GO) run ./cmd/repro -seed 1 -faults all -parallel=1 > /tmp/repro-faults-serial.txt
-	$(GO) run ./cmd/repro -seed 1 -faults all > /tmp/repro-faults-parallel.txt
+	$(GO) run ./cmd/repro -seed 1 -faults all -parallel=1 -metrics /tmp/repro-faults-metrics-serial.json > /tmp/repro-faults-serial.txt
+	$(GO) run ./cmd/repro -seed 1 -faults all -metrics /tmp/repro-faults-metrics-parallel.json > /tmp/repro-faults-parallel.txt
 	diff /tmp/repro-faults-serial.txt /tmp/repro-faults-parallel.txt
-	@echo "determinism-faults: serial and parallel perturbed sweeps are byte-identical"
+	diff /tmp/repro-faults-metrics-serial.json /tmp/repro-faults-metrics-parallel.json
+	@echo "determinism-faults: serial and parallel perturbed sweeps (figures and metrics) are byte-identical"
 
 ci:
 	./ci.sh

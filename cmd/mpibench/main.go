@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/mpibench"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	out := flag.String("out", "", "write the result set as JSON to this file")
 	summary := flag.Bool("summary", true, "print per-size summaries")
 	perfect := flag.Bool("perfect-clocks", false, "disable clock drift (ablation)")
+	metricsOut := flag.String("metrics", "", "write the merged instrument snapshot as JSON to this file")
+	metricsProm := flag.String("metrics-prom", "", "write the merged instrument snapshot as Prometheus text to this file")
 	flag.Parse()
 
 	cfg := cluster.Perseus()
@@ -58,7 +61,11 @@ func main() {
 		Seed:          *seed,
 		PerfectClocks: *perfect,
 	}
-	set, err := mpibench.RunSweep(cfg, spec, placements)
+	var agg *metrics.Aggregate
+	if *metricsOut != "" || *metricsProm != "" {
+		agg = metrics.NewAggregate()
+	}
+	set, err := mpibench.RunSweepObserved(cfg, spec, placements, agg)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +89,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if agg != nil {
+		snap := agg.Snapshot()
+		if *metricsOut != "" {
+			if err := snap.SaveJSON(*metricsOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		if *metricsProm != "" {
+			if err := snap.SavePrometheus(*metricsProm); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsProm)
+		}
 	}
 }
 

@@ -18,6 +18,12 @@
 // -faults runs the perturbed sweep instead of the figures: benchmarks
 // and the Figure-6 Jacobi comparison re-measured under a fault-scenario
 // preset ("all" reports every preset; see docs/FAULTS.md).
+//
+// -metrics and -metrics-prom export the merged instrument snapshot of
+// everything the invocation simulated (sim kernel, network, MPI layer,
+// PEVPM, sweep pool) as JSON and Prometheus text. The snapshot derives
+// only from simulation state, so the files are byte-identical for every
+// -parallel value; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -42,6 +49,8 @@ func main() {
 	faultsFlag := flag.String("faults", "", "run the perturbed sweep under a fault scenario preset (\"all\" = every preset)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see make profile)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	metricsOut := flag.String("metrics", "", "write the merged instrument snapshot as JSON to this file (conventionally METRICS.json)")
+	metricsProm := flag.String("metrics-prom", "", "write the merged instrument snapshot as Prometheus text to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -80,11 +89,36 @@ func main() {
 	params.Workers = *parallel
 	cfg := cluster.Perseus()
 
+	var agg *metrics.Aggregate
+	if *metricsOut != "" || *metricsProm != "" {
+		agg = metrics.NewAggregate()
+		params.Metrics = agg
+	}
+	saveMetrics := func() {
+		if agg == nil {
+			return
+		}
+		snap := agg.Snapshot()
+		if *metricsOut != "" {
+			if err := snap.SaveJSON(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsProm != "" {
+			if err := snap.SavePrometheus(*metricsProm); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: metrics-prom: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *faultsFlag != "" {
 		if err := printPerturbed(cfg, params, *faultsFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: faults: %v\n", err)
 			os.Exit(1)
 		}
+		saveMetrics()
 		return
 	}
 
@@ -116,6 +150,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	saveMetrics()
 }
 
 // printPerturbed runs the perturbed sweep and prints the report for one

@@ -40,6 +40,8 @@ func main() {
 	block := flag.Bool("block-placement", false, "use physically contiguous nodes instead of scheduler scatter")
 	faultsFlag := flag.String("faults", "", "inject a fault-scenario preset onto the job's nodes (see docs/FAULTS.md)")
 	faultsSpan := flag.Float64("faults-span", 0.5, "seconds the fault windows are drawn over")
+	metricsOut := flag.String("metrics", "", "write the run's instrument snapshot as JSON to this file")
+	metricsProm := flag.String("metrics-prom", "", "write the run's instrument snapshot as Prometheus text to this file")
 	flag.Parse()
 
 	var cfg cluster.Config
@@ -148,6 +150,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (load in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+	if *metricsOut != "" || *metricsProm != "" {
+		snap := e.Metrics().Snapshot()
+		if *metricsOut != "" {
+			if err := snap.SaveJSON(*metricsOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		if *metricsProm != "" {
+			if err := snap.SavePrometheus(*metricsProm); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsProm)
+		}
 	}
 }
 

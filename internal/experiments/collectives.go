@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments/sweep"
+	"repro/internal/metrics"
 	"repro/internal/mpibench"
 	"repro/internal/sim"
 )
@@ -54,7 +55,14 @@ func CollectiveTable(cfg cluster.Config, p Params, size int) ([]CollectiveRow, e
 			cells = append(cells, cell{op, n})
 		}
 	}
-	return sweep.Map(p.workers(), len(cells), func(i int) (CollectiveRow, error) {
+	var obs *sweep.Observer
+	if p.Metrics != nil {
+		obs = sweep.NewObserver()
+	}
+	// Each cell writes only its own snapshot slot; the fold below walks
+	// them in cell order on this goroutine.
+	snaps := make([]metrics.Snapshot, len(cells))
+	rows, err := sweep.MapObserved(p.workers(), len(cells), obs, func(i int) (CollectiveRow, error) {
 		op, n := cells[i].op, cells[i].n
 		pl, err := cluster.NewBlockPlacement(&cfg, n, 1)
 		if err != nil {
@@ -72,6 +80,7 @@ func CollectiveTable(cfg cluster.Config, p Params, size int) ([]CollectiveRow, e
 		if err != nil {
 			return CollectiveRow{}, fmt.Errorf("experiments: %s on %v: %w", op, pl, err)
 		}
+		snaps[i] = res.Metrics
 		pt := res.Points[0]
 		return CollectiveRow{
 			Op:        op,
@@ -83,4 +92,14 @@ func CollectiveTable(cfg cluster.Config, p Params, size int) ([]CollectiveRow, e
 			P99Us:     pt.Hist.Quantile(0.99) * 1e6,
 		}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	if p.Metrics != nil {
+		for _, s := range snaps {
+			p.Metrics.Merge(s)
+		}
+		p.Metrics.Merge(obs.Snapshot())
+	}
+	return rows, nil
 }

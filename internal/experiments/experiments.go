@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments/sweep"
+	"repro/internal/metrics"
 	"repro/internal/mpibench"
 	"repro/internal/pevpm"
 	"repro/internal/sim"
@@ -33,6 +34,14 @@ type Params struct {
 	// and results merge in canonical cell order, so figures are
 	// bit-identical for every worker count.
 	Workers int
+
+	// Metrics, when non-nil, accumulates the instrument snapshot of
+	// every simulation cell an experiment runs (sim kernel, netsim, mpi,
+	// pevpm) plus the worker pool's own counters. Snapshots merge in
+	// canonical cell order on the calling goroutine, so the folded
+	// aggregate is byte-identical at any worker count. Nil skips all
+	// collection; figure output is identical either way.
+	Metrics *metrics.Aggregate
 }
 
 // workers resolves the configured worker count.
@@ -126,7 +135,7 @@ func isendCurves(cfg cluster.Config, p Params, sizes []int, placements []cluster
 		Seed:        p.Seed,
 		Workers:     p.workers(),
 	}
-	set, err := mpibench.RunSweep(cfg, spec, placements)
+	set, err := mpibench.RunSweepObserved(cfg, spec, placements, p.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +219,9 @@ func pdfsFor(cfg cluster.Config, p Params, pl cluster.Placement, sizes []int, bi
 	})
 	if err != nil {
 		return nil, err
+	}
+	if p.Metrics != nil {
+		p.Metrics.Merge(res.Metrics)
 	}
 	var out []PDF
 	for _, pt := range res.Points {
@@ -309,7 +321,7 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		}
 		dbPls = append([]cluster.Placement{intra}, pls...)
 	}
-	set, err := mpibench.RunSweep(cfg, mpibench.Spec{
+	set, err := mpibench.RunSweepObserved(cfg, mpibench.Spec{
 		Op:          mpibench.OpSend,
 		Sizes:       []int{0, 256, 1024, 4096},
 		Repetitions: p.Repetitions,
@@ -317,7 +329,7 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		SyncProbes:  p.SyncProbes,
 		Seed:        p.Seed + 77,
 		Workers:     p.workers(),
-	}, dbPls)
+	}, dbPls, p.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -369,9 +381,14 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		}
 	}
 
+	var obs *sweep.Observer
+	if p.Metrics != nil {
+		obs = sweep.NewObserver()
+	}
 	execs := make([]workloads.ExecResult, len(pls))
 	makespans := make([]float64, len(cells))
-	err = sweep.Run(p.workers(), len(cells), func(i int) error {
+	cellMetrics := make([]metrics.Snapshot, len(cells))
+	err = sweep.RunObserved(p.workers(), len(cells), obs, func(i int) error {
 		c := cells[i]
 		pl := pls[c.pi]
 		if c.label == "" {
@@ -392,10 +409,21 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 			return fmt.Errorf("experiments: predicting %v with %s: %w", pl, c.label, err)
 		}
 		makespans[i] = rep.Makespan
+		cellMetrics[i] = rep.Metrics
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if p.Metrics != nil {
+		for i, c := range cells {
+			if c.label == "" {
+				p.Metrics.Merge(execs[c.pi].Metrics)
+			} else {
+				p.Metrics.Merge(cellMetrics[i])
+			}
+		}
+		p.Metrics.Merge(obs.Snapshot())
 	}
 
 	var processorSeconds float64

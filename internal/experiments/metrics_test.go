@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// metricsParams is equalityParams with a metrics aggregate attached.
+func metricsParams(workers int) (Params, *metrics.Aggregate) {
+	p := equalityParams(workers)
+	agg := metrics.NewAggregate()
+	p.Metrics = agg
+	return p, agg
+}
+
+// TestMetricsDeterministicAcrossWorkers is the observability tentpole
+// guarantee: the folded instrument snapshot of every experiment is
+// byte-identical between the serial escape hatch and a many-worker run.
+// Equality is checked on the serialized JSON, the same bytes `make
+// determinism` diffs for cmd/repro -metrics.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := cluster.Perseus()
+
+	type variant struct {
+		name string
+		run  func(p Params) (any, error)
+	}
+	variants := []variant{
+		{"Figure1", func(p Params) (any, error) { return Figure1(cfg, p) }},
+		{"Figure2", func(p Params) (any, error) { return Figure2(cfg, p) }},
+		{"Figure3", func(p Params) (any, error) { return Figure3(cfg, p) }},
+		{"Figure4", func(p Params) (any, error) { return Figure4(cfg, p) }},
+		{"Figure6", func(p Params) (any, error) { return Figure6(cfg, p, nil) }},
+		{"CollectiveTable", func(p Params) (any, error) { return CollectiveTable(cfg, p, 1024) }},
+		{"PerturbedSweep", func(p Params) (any, error) { return PerturbedSweep(cfg, p) }},
+	}
+
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			var want []byte
+			for _, workers := range []int{1, 8} {
+				p, agg := metricsParams(workers)
+				if _, err := v.run(p); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				snap := agg.Snapshot()
+				if len(snap.Counters) == 0 {
+					t.Fatalf("workers=%d: aggregate collected no counters", workers)
+				}
+				var buf bytes.Buffer
+				if err := snap.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+				} else if !bytes.Equal(want, buf.Bytes()) {
+					t.Errorf("workers=%d: metrics JSON differs from serial baseline", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsCollectionIsPassive checks that attaching an aggregate
+// changes nothing about the figure itself: instruments never consume
+// RNG draws or schedule events, so the observed and unobserved runs
+// are the same simulation.
+func TestMetricsCollectionIsPassive(t *testing.T) {
+	cfg := cluster.Perseus()
+	bare, err := Figure1(cfg, equalityParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, agg := metricsParams(0)
+	observed, err := Figure1(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, observed) {
+		t.Error("attaching Params.Metrics changed Figure1's output")
+	}
+	if v, ok := agg.Snapshot().Counter("sweep", "sweeps_total"); !ok || v == 0 {
+		t.Errorf("sweeps_total = %d (ok=%v), want > 0", v, ok)
+	}
+}
+
+// TestMetricsCoverAllLayers checks the merged snapshot really spans the
+// whole stack: one Figure6 run must surface kernel, network, MPI,
+// PEVPM and pool instruments in a single aggregate.
+func TestMetricsCoverAllLayers(t *testing.T) {
+	cfg := cluster.Perseus()
+	p, agg := metricsParams(0)
+	if _, err := Figure6(cfg, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := agg.Snapshot()
+	for _, probe := range []struct{ pkg, name string }{
+		{"sim", "events_scheduled_total"},
+		{"net", "transfers_total"},
+		{"mpi", "sends_eager_total"},
+		{"pevpm", "replications_total"},
+		{"sweep", "cells_total"},
+	} {
+		v, ok := snap.Counter(probe.pkg, probe.name)
+		if !ok || v == 0 {
+			t.Errorf("%s/%s = %d (ok=%v), want > 0", probe.pkg, probe.name, v, ok)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments/sweep"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/mpibench"
 	"repro/internal/pevpm"
 	"repro/internal/sim"
@@ -144,7 +145,11 @@ func PerturbedSweep(cfg cluster.Config, p Params) (*PerturbedResult, error) {
 		}
 		return names[si-1]
 	}
-	err = sweep.Run(p.workers(), nScen*perScen, func(i int) error {
+	var obs *sweep.Observer
+	if p.Metrics != nil {
+		obs = sweep.NewObserver()
+	}
+	err = sweep.RunObserved(p.workers(), nScen*perScen, obs, func(i int) error {
 		si, kind := i/perScen, i%perScen
 		sched := scheds[si]
 		switch {
@@ -187,6 +192,22 @@ func PerturbedSweep(cfg cluster.Config, p Params) (*PerturbedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Metrics != nil {
+		// Fold phase 1 in cell-index order: the same walk the sweep
+		// enumerated, independent of which worker ran what.
+		for i := 0; i < nScen*perScen; i++ {
+			si, kind := i/perScen, i%perScen
+			switch {
+			case kind < len(specs):
+				p.Metrics.Merge(benchRes[si][kind].Metrics)
+			case kind == len(specs):
+				p.Metrics.Merge(execRes[si].Metrics)
+			default:
+				p.Metrics.Merge(dbRes[si].Metrics)
+			}
+		}
+		p.Metrics.Merge(obs.Snapshot())
+	}
 
 	// Phase 2: PEVPM predictions need phase 1's database. Each scenario's
 	// DB is built once, serially — NewEmpiricalDB freezes the shared
@@ -210,7 +231,12 @@ func PerturbedSweep(cfg cluster.Config, p Params) (*PerturbedResult, error) {
 		runs = 1
 	}
 	makespans := make([]float64, nScen*runs)
-	err = sweep.Run(p.workers(), nScen*runs, func(i int) error {
+	evalSnaps := make([]metrics.Snapshot, nScen*runs)
+	var obs2 *sweep.Observer
+	if p.Metrics != nil {
+		obs2 = sweep.NewObserver()
+	}
+	err = sweep.RunObserved(p.workers(), nScen*runs, obs2, func(i int) error {
 		si, rep := i/runs, i%runs
 		r, err := pevpm.Evaluate(prog, pevpm.Options{
 			Procs: jacobiPl.NumProcs(), DB: dbs[si],
@@ -221,10 +247,17 @@ func PerturbedSweep(cfg cluster.Config, p Params) (*PerturbedResult, error) {
 			return fmt.Errorf("experiments: perturbed %s prediction: %w", scenName(si), err)
 		}
 		makespans[i] = r.Makespan
+		evalSnaps[i] = r.Metrics
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if p.Metrics != nil {
+		for _, s := range evalSnaps {
+			p.Metrics.Merge(s)
+		}
+		p.Metrics.Merge(obs2.Snapshot())
 	}
 	predicted := func(si int) float64 {
 		var sum stats.Summary

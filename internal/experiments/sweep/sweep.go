@@ -14,7 +14,6 @@ package sweep
 
 import (
 	"runtime"
-	"sync"
 )
 
 // Workers resolves a requested worker count: n > 0 is taken as-is,
@@ -32,49 +31,7 @@ func Workers(n int) int {
 // the reported failure does not depend on scheduling. workers <= 1 (or
 // n <= 1) degenerates to an in-order loop on the calling goroutine.
 func Run(workers, n int, cell func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers = Workers(workers); workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		var first error
-		for i := 0; i < n; i++ {
-			if err := cell(i); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-
-	errs := make([]error, n)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				errs[i] = cell(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return RunObserved(workers, n, nil, cell)
 }
 
 // Map executes cells 0..n-1 across the pool and returns their results in

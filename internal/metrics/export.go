@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON encodes the snapshot as indented JSON. The encoding is
+// byte-stable: sections and points are sorted, all values are integral
+// and label order is canonical, so two equal snapshots produce
+// identical bytes (the property `make determinism` diffs).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// SaveJSON writes the snapshot to a file (the -metrics flag of the
+// CLIs, conventionally METRICS.json).
+func (s Snapshot) SaveJSON(path string) error {
+	return s.save(path, s.WriteJSON)
+}
+
+// SavePrometheus writes the Prometheus text exposition to a file.
+func (s Snapshot) SavePrometheus(path string) error {
+	return s.save(path, s.WritePrometheus)
+}
+
+func (s Snapshot) save(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WritePrometheus encodes the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Metric names become
+// repro_<pkg>_<name>; histograms expand into cumulative _bucket series
+// plus _sum and _count, as the format requires. Output order matches
+// the snapshot's canonical order, so it is byte-stable too.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// One TYPE line per metric name, as the format requires: labelled
+	// series of the same metric sort adjacently, so compare with the
+	// previous name. prev is reset per section — families never span
+	// sections because a name registers as exactly one kind.
+	prev := ""
+	for _, p := range s.Counters {
+		name := promName(p.Pkg, p.Name)
+		if name != prev {
+			bw.WriteString("# TYPE " + name + " counter\n")
+			prev = name
+		}
+		bw.WriteString(name + promLabels(p.Labels, "", 0) + " " +
+			strconv.FormatUint(p.Value, 10) + "\n")
+	}
+	prev = ""
+	for _, p := range s.Gauges {
+		name := promName(p.Pkg, p.Name)
+		if name != prev {
+			bw.WriteString("# TYPE " + name + " gauge\n")
+			prev = name
+		}
+		bw.WriteString(name + promLabels(p.Labels, "", 0) + " " +
+			strconv.FormatInt(p.Value, 10) + "\n")
+	}
+	prev = ""
+	for _, p := range s.Histograms {
+		name := promName(p.Pkg, p.Name)
+		if name != prev {
+			bw.WriteString("# TYPE " + name + " histogram\n")
+			prev = name
+		}
+		cum := uint64(0)
+		for i, b := range p.Bounds {
+			cum += p.Counts[i]
+			bw.WriteString(name + "_bucket" + promLabels(p.Labels, strconv.FormatInt(b, 10), 1) +
+				" " + strconv.FormatUint(cum, 10) + "\n")
+		}
+		cum += p.Counts[len(p.Bounds)]
+		bw.WriteString(name + "_bucket" + promLabels(p.Labels, "+Inf", 1) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+		bw.WriteString(name + "_sum" + promLabels(p.Labels, "", 0) + " " +
+			strconv.FormatInt(p.Sum, 10) + "\n")
+		bw.WriteString(name + "_count" + promLabels(p.Labels, "", 0) + " " +
+			strconv.FormatUint(p.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// promName builds repro_<pkg>_<name> with every character outside
+// [a-zA-Z0-9_] replaced by '_'.
+func promName(pkg, name string) string {
+	return "repro_" + promSanitize(pkg) + "_" + promSanitize(name)
+}
+
+func promSanitize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders {k="v",...}. le != "" (leMode 1) appends the
+// histogram bucket's le label.
+func promLabels(labels []Label, le string, leMode int) string {
+	if len(labels) == 0 && leMode == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promSanitize(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if leMode == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim", "events_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	g := r.Gauge("sim", "depth_max")
+	g.SetMax(7)
+	g.SetMax(3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7 (SetMax must not lower)", g.Value())
+	}
+
+	h := r.Histogram("net", "tries", []int64{0, 1, 2, 5})
+	for _, v := range []int64{0, 0, 1, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 13 {
+		t.Errorf("histogram count %d sum %d, want 5 and 13", h.Count(), h.Sum())
+	}
+	p, ok := r.Snapshot().Histogram("net", "tries")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []uint64{2, 1, 0, 1, 1} // <=0, <=1, <=2, <=5, overflow
+	for i, c := range want {
+		if p.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, p.Counts[i], c, p.Counts)
+		}
+	}
+}
+
+func TestRegisterIdempotentAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("p", "n", L("k", "v"))
+	b := r.Counter("p", "n", L("k", "v"))
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	// Label order must not matter for identity.
+	x := r.Gauge("p", "g", L("a", "1"), L("b", "2"))
+	y := r.Gauge("p", "g", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Error("label order changed instrument identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("p", "n", L("k", "v"))
+}
+
+func TestSnapshotStableOrderAndVolatile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b", "two").Inc()
+	r.Counter("a", "one").Inc()
+	r.VolatileCounter("z", "scheduling_dependent").Inc()
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 {
+		t.Fatalf("deterministic snapshot has %d counters, want 2 (volatile excluded)", len(s.Counters))
+	}
+	if s.Counters[0].Key() != "a/one" || s.Counters[1].Key() != "b/two" {
+		t.Errorf("snapshot not sorted by key: %v", []string{s.Counters[0].Key(), s.Counters[1].Key()})
+	}
+	if _, ok := r.SnapshotAll().Counter("z", "scheduling_dependent"); !ok {
+		t.Error("SnapshotAll lost the volatile counter")
+	}
+}
+
+// TestSnapshotJSONByteStable is the determinism contract in miniature:
+// two registries built by the same code produce identical bytes.
+func TestSnapshotJSONByteStable(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		for i := 0; i < 10; i++ {
+			r.Counter("net", "bytes", L("node", string(rune('0'+i)))).Add(uint64(i) * 3)
+		}
+		r.Gauge("sim", "depth").SetMax(42)
+		r.Histogram("net", "tries", []int64{0, 1, 2}).Observe(1)
+		return r.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("equal registries produced different JSON bytes")
+	}
+}
+
+func TestAggregateMergeSemantics(t *testing.T) {
+	cell := func(n uint64, g int64, obs []int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("p", "c").Add(n)
+		r.Gauge("p", "g").SetMax(g)
+		h := r.Histogram("p", "h", []int64{1, 10})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	s1 := cell(3, 5, []int64{0, 7})
+	s2 := cell(4, 2, []int64{20})
+
+	// Merge order must not matter (commutative fold).
+	for _, order := range [][]Snapshot{{s1, s2}, {s2, s1}} {
+		a := NewAggregate()
+		for _, s := range order {
+			a.Merge(s)
+		}
+		got := a.Snapshot()
+		if v, _ := got.Counter("p", "c"); v != 7 {
+			t.Errorf("merged counter = %d, want 7", v)
+		}
+		if v, _ := got.Gauge("p", "g"); v != 5 {
+			t.Errorf("merged gauge = %d, want 5 (max)", v)
+		}
+		h, _ := got.Histogram("p", "h")
+		if h.Count != 3 || h.Sum != 27 {
+			t.Errorf("merged histogram count %d sum %d, want 3 and 27", h.Count, h.Sum)
+		}
+		if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+			t.Errorf("merged buckets %v, want [1 1 1]", h.Counts)
+		}
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net", "wire_bytes_total", L("node", "3")).Add(128)
+	r.Counter("net", "wire_bytes_total", L("node", "7")).Add(64)
+	r.Gauge("sim", "heap_depth_max").SetMax(9)
+	h := r.Histogram("net", "rto_depth", []int64{0, 1})
+	h.Observe(0)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE repro_net_wire_bytes_total counter",
+		`repro_net_wire_bytes_total{node="3"} 128`,
+		`repro_net_wire_bytes_total{node="7"} 64`,
+		"# TYPE repro_sim_heap_depth_max gauge",
+		"repro_sim_heap_depth_max 9",
+		"# TYPE repro_net_rto_depth histogram",
+		`repro_net_rto_depth_bucket{le="0"} 1`,
+		`repro_net_rto_depth_bucket{le="1"} 1`,
+		`repro_net_rto_depth_bucket{le="+Inf"} 2`,
+		"repro_net_rto_depth_sum 5",
+		"repro_net_rto_depth_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The format allows only one TYPE line per metric family: labelled
+	// series of the same name must share it.
+	if n := strings.Count(out, "# TYPE repro_net_wire_bytes_total "); n != 1 {
+		t.Errorf("wire_bytes_total declared TYPE %d times, want 1:\n%s", n, out)
+	}
+}
+
+// TestHotPathZeroAlloc is the tentpole guarantee: incrementing any
+// instrument allocates nothing, so instrumentation cannot disturb the
+// allocation-free simulation hot paths.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("p", "c")
+	g := r.Gauge("p", "g")
+	h := r.Histogram("p", "h", []int64{1, 2, 4, 8})
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Errorf("counter increments allocate %.1f/op, want 0", n)
+	}
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { v++; g.SetMax(v) }); n != 0 {
+		t.Errorf("gauge SetMax allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v % 12) }); n != 0 {
+		t.Errorf("histogram Observe allocates %.1f/op, want 0", n)
+	}
+}

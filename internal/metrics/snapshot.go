@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Pkg    string  `json:"pkg"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  uint64  `json:"value"`
+}
+
+// GaugePoint is one high-water gauge in a snapshot.
+type GaugePoint struct {
+	Pkg    string  `json:"pkg"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// HistogramPoint is one histogram in a snapshot. Counts has one more
+// element than Bounds: the overflow bucket.
+type HistogramPoint struct {
+	Pkg    string   `json:"pkg"`
+	Name   string   `json:"name"`
+	Labels []Label  `json:"labels,omitempty"`
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    int64    `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Key returns the canonical identity of the point.
+func (p CounterPoint) Key() string { return key(p.Pkg, p.Name, p.Labels) }
+
+// Key returns the canonical identity of the point.
+func (p GaugePoint) Key() string { return key(p.Pkg, p.Name, p.Labels) }
+
+// Key returns the canonical identity of the point.
+func (p HistogramPoint) Key() string { return key(p.Pkg, p.Name, p.Labels) }
+
+// Snapshot is a stable-ordered copy of a registry's state: each section
+// sorted by canonical key. Equal simulations produce byte-identical
+// snapshots (and byte-identical JSON/Prometheus encodings).
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot copies the deterministic instruments into a stable-ordered
+// snapshot. Volatile instruments are excluded — they may differ between
+// worker counts and must not reach exported files.
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(false) }
+
+// SnapshotAll is Snapshot including volatile instruments, for human
+// inspection and tests only.
+func (r *Registry) SnapshotAll() Snapshot { return r.snapshot(true) }
+
+func (r *Registry) snapshot(includeVolatile bool) Snapshot {
+	var s Snapshot
+	for _, e := range r.entries {
+		if e.volatile && !includeVolatile {
+			continue
+		}
+		switch e.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, CounterPoint{
+				Pkg: e.pkg, Name: e.name, Labels: e.labels, Value: e.c.v,
+			})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, GaugePoint{
+				Pkg: e.pkg, Name: e.name, Labels: e.labels, Value: e.g.v,
+			})
+		case kindHistogram:
+			s.Histograms = append(s.Histograms, HistogramPoint{
+				Pkg: e.pkg, Name: e.name, Labels: e.labels,
+				Bounds: append([]int64(nil), e.h.bounds...),
+				Counts: append([]uint64(nil), e.h.counts...),
+				Sum:    e.h.sum,
+				Count:  e.h.count,
+			})
+		}
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Key() < s.Counters[j].Key() })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Key() < s.Gauges[j].Key() })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Key() < s.Histograms[j].Key() })
+}
+
+// Counter returns the value of the named counter, or false if absent.
+func (s Snapshot) Counter(pkg, name string, labels ...Label) (uint64, bool) {
+	id := key(pkg, name, sortedLabels(labels))
+	for _, p := range s.Counters {
+		if p.Key() == id {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge, or false if absent.
+func (s Snapshot) Gauge(pkg, name string, labels ...Label) (int64, bool) {
+	id := key(pkg, name, sortedLabels(labels))
+	for _, p := range s.Gauges {
+		if p.Key() == id {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram point, or false if absent.
+func (s Snapshot) Histogram(pkg, name string, labels ...Label) (HistogramPoint, bool) {
+	id := key(pkg, name, sortedLabels(labels))
+	for _, p := range s.Histograms {
+		if p.Key() == id {
+			return p, true
+		}
+	}
+	return HistogramPoint{}, false
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Aggregate folds snapshots from many sweep cells into one. Counters
+// and histogram buckets add, gauges keep the maximum — the semantics
+// every registered gauge has (high-water marks). All operations are
+// commutative and associative, so the folded result is independent of
+// merge order; callers still merge in canonical cell order, like the
+// makespan fold, so even a future order-sensitive metric would stay
+// deterministic.
+type Aggregate struct {
+	counters map[string]*CounterPoint
+	gauges   map[string]*GaugePoint
+	hists    map[string]*HistogramPoint
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		counters: make(map[string]*CounterPoint),
+		gauges:   make(map[string]*GaugePoint),
+		hists:    make(map[string]*HistogramPoint),
+	}
+}
+
+// Merge folds one snapshot in. Histograms with the same key must have
+// identical bounds (they are fixed at registration, so a mismatch is a
+// programming error and panics).
+func (a *Aggregate) Merge(s Snapshot) {
+	for _, p := range s.Counters {
+		id := p.Key()
+		if have, ok := a.counters[id]; ok {
+			have.Value += p.Value
+		} else {
+			cp := p
+			a.counters[id] = &cp
+		}
+	}
+	for _, p := range s.Gauges {
+		id := p.Key()
+		if have, ok := a.gauges[id]; ok {
+			if p.Value > have.Value {
+				have.Value = p.Value
+			}
+		} else {
+			gp := p
+			a.gauges[id] = &gp
+		}
+	}
+	for _, p := range s.Histograms {
+		id := p.Key()
+		have, ok := a.hists[id]
+		if !ok {
+			hp := p
+			hp.Bounds = append([]int64(nil), p.Bounds...)
+			hp.Counts = append([]uint64(nil), p.Counts...)
+			a.hists[id] = &hp
+			continue
+		}
+		if len(have.Bounds) != len(p.Bounds) {
+			panic(fmt.Sprintf("metrics: merging %s with different bucket bounds", id))
+		}
+		for i, b := range p.Bounds {
+			if have.Bounds[i] != b {
+				panic(fmt.Sprintf("metrics: merging %s with different bucket bounds", id))
+			}
+		}
+		for i, c := range p.Counts {
+			have.Counts[i] += c
+		}
+		have.Sum += p.Sum
+		have.Count += p.Count
+	}
+}
+
+// Snapshot returns the folded state, stable-ordered like a registry
+// snapshot.
+func (a *Aggregate) Snapshot() Snapshot {
+	var s Snapshot
+	for _, p := range a.counters {
+		s.Counters = append(s.Counters, *p)
+	}
+	for _, p := range a.gauges {
+		s.Gauges = append(s.Gauges, *p)
+	}
+	for _, p := range a.hists {
+		hp := *p
+		hp.Bounds = append([]int64(nil), p.Bounds...)
+		hp.Counts = append([]uint64(nil), p.Counts...)
+		s.Histograms = append(s.Histograms, hp)
+	}
+	s.sort()
+	return s
+}

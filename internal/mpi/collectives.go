@@ -32,6 +32,7 @@ func (c *Comm) collRecv(src, tag int)       { c.Wait(c.irecv(ctxCollective, src,
 // algorithm: ceil(log2 P) rounds of pairwise zero-byte exchanges).
 func (c *Comm) Barrier() {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, 0, "Barrier")
+	c.w.collMetric(tagBarrier, 0)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, 0, "Barrier")
 	p := c.Size()
 	if p == 1 {
@@ -50,6 +51,7 @@ func (c *Comm) Barrier() {
 // tree. Every rank must call it with the same root and size.
 func (c *Comm) Bcast(root, size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Bcast")
+	c.w.collMetric(tagBcast, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Bcast")
 	c.checkPeer("Bcast root", root)
 	p := c.Size()
@@ -81,6 +83,7 @@ func (c *Comm) Bcast(root, size int) {
 // host cost of each receive).
 func (c *Comm) Reduce(root, size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Reduce")
+	c.w.collMetric(tagReduce, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Reduce")
 	c.checkPeer("Reduce root", root)
 	p := c.Size()
@@ -108,6 +111,7 @@ func (c *Comm) Reduce(root, size int) {
 // everywhere (MPICH 1.2 style: reduce to rank 0, then broadcast).
 func (c *Comm) Allreduce(size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Allreduce")
+	c.w.collMetric(0, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Allreduce")
 	c.Reduce(0, size)
 	c.Bcast(0, size)
@@ -117,6 +121,7 @@ func (c *Comm) Allreduce(size int) {
 // tree; interior nodes forward their whole accumulated subtree.
 func (c *Comm) Gather(root, size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Gather")
+	c.w.collMetric(tagGather, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Gather")
 	c.checkPeer("Gather root", root)
 	p := c.Size()
@@ -151,6 +156,7 @@ func (c *Comm) Gather(root, size int) {
 // forwards the halves downward.
 func (c *Comm) Scatter(root, size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Scatter")
+	c.w.collMetric(tagScatter, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Scatter")
 	c.checkPeer("Scatter root", root)
 	p := c.Size()
@@ -191,6 +197,7 @@ func (c *Comm) Scatter(root, size int) {
 // using the ring algorithm: P−1 steps, each passing one block along.
 func (c *Comm) Allgather(size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Allgather")
+	c.w.collMetric(tagAllgather, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Allgather")
 	p := c.Size()
 	if p == 1 {
@@ -210,6 +217,7 @@ func (c *Comm) Allgather(size int) {
 // with rotating partners.
 func (c *Comm) Alltoall(size int) {
 	c.w.rec(c.rank, trace.CollectiveStart, -1, 0, size, "Alltoall")
+	c.w.collMetric(tagAlltoall, size)
 	defer c.w.rec(c.rank, trace.CollectiveEnd, -1, 0, size, "Alltoall")
 	p := c.Size()
 	if p == 1 {

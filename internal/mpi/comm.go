@@ -137,13 +137,16 @@ func (c *Comm) isend(ctx, dst, tag, size int, data any) *Request {
 	if c.w.lint != nil {
 		c.w.lint.trackRequest(r)
 	}
+	c.w.mSendBytes.Add(uint64(size))
 	if size <= cfg.EagerLimit {
 		// Eager: payload travels with the envelope; locally complete.
+		c.w.mEager.Inc()
 		c.w.sendPacket(c.rank, dst, pktEager, size, env, 0)
 		c.w.completeRequest(r, Status{Source: c.rank, Tag: tag, Size: size})
 		return r
 	}
 	// Rendezvous: announce with an RTS and wait for clearance.
+	c.w.mRendezvous.Inc()
 	env.rendezvous = true
 	c.w.nextSendID++
 	env.sendID = c.w.nextSendID

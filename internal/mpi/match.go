@@ -53,6 +53,7 @@ func (rs *rankState) arriveEnvelope(w *World, env *envelope) {
 		}
 	}
 	rs.unexpected = append(rs.unexpected, env)
+	w.mUnexpMax.SetMax(int64(len(rs.unexpected)))
 	// Wake the rank in case it is blocked in Probe waiting for exactly
 	// this envelope; a spurious wakeup is harmless (waits re-check).
 	if rs.comm != nil && rs.comm.proc != nil {

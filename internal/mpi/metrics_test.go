@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestProtocolSplitMetrics checks the eager/rendezvous classification
+// and the byte ledger against the configured eager limit.
+func TestProtocolSplitMetrics(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	limit := w.net.Config().EagerLimit
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, 100)     // eager
+			c.Send(1, 2, limit)   // eager (at the limit)
+			c.Send(1, 3, limit+1) // rendezvous
+			c.Send(1, 4, 4*limit) // rendezvous
+		case 1:
+			for tag := 1; tag <= 4; tag++ {
+				c.Recv(0, tag)
+			}
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.e.Metrics().Snapshot()
+	if v, _ := s.Counter("mpi", "sends_eager_total"); v != 2 {
+		t.Errorf("sends_eager_total = %d, want 2", v)
+	}
+	if v, _ := s.Counter("mpi", "sends_rendezvous_total"); v != 2 {
+		t.Errorf("sends_rendezvous_total = %d, want 2", v)
+	}
+	want := uint64(100 + limit + limit + 1 + 4*limit)
+	if v, _ := s.Counter("mpi", "send_bytes_total"); v != want {
+		t.Errorf("send_bytes_total = %d, want %d", v, want)
+	}
+}
+
+// TestUnexpectedQueueHighWater sends several eager messages before the
+// receiver posts anything, so they all queue as unexpected.
+func TestUnexpectedQueueHighWater(t *testing.T) {
+	w := quietWorld(t, 2, 1, 1)
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for tag := 1; tag <= 5; tag++ {
+				c.Send(1, tag, 64)
+			}
+		case 1:
+			c.Probe(0, 5) // all five arrived (in-order delivery per pair)
+			for tag := 5; tag >= 1; tag-- {
+				c.Recv(0, tag)
+			}
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.e.Metrics().Snapshot()
+	if v, _ := s.Gauge("mpi", "unexpected_queue_max"); v != 5 {
+		t.Errorf("unexpected_queue_max = %d, want 5", v)
+	}
+}
+
+// TestCollectiveMetrics checks per-operation call and byte counters,
+// including Allreduce's composition: it counts under its own label AND
+// its constituent Reduce and Bcast tick too.
+func TestCollectiveMetrics(t *testing.T) {
+	const ranks = 4
+	w := quietWorld(t, ranks, 1, 1)
+	w.Launch(func(c *Comm) {
+		c.Barrier()
+		c.Bcast(0, 1000)
+		c.Allreduce(500)
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := w.e.Metrics().Snapshot()
+	calls := func(op string) uint64 {
+		v, _ := s.Counter("mpi", "collective_calls_total", metrics.L("op", op))
+		return v
+	}
+	bytes := func(op string) uint64 {
+		v, _ := s.Counter("mpi", "collective_bytes_total", metrics.L("op", op))
+		return v
+	}
+	if calls("Barrier") != ranks {
+		t.Errorf("Barrier calls = %d, want %d (one per rank)", calls("Barrier"), ranks)
+	}
+	if calls("Bcast") != 2*ranks { // explicit Bcast + Allreduce's internal one
+		t.Errorf("Bcast calls = %d, want %d", calls("Bcast"), 2*ranks)
+	}
+	if calls("Allreduce") != ranks || calls("Reduce") != ranks {
+		t.Errorf("Allreduce/Reduce calls = %d/%d, want %d each",
+			calls("Allreduce"), calls("Reduce"), ranks)
+	}
+	if bytes("Bcast") != uint64(ranks*(1000+500)) {
+		t.Errorf("Bcast bytes = %d, want %d", bytes("Bcast"), ranks*(1000+500))
+	}
+	if bytes("Allreduce") != uint64(ranks*500) {
+		t.Errorf("Allreduce bytes = %d, want %d", bytes("Allreduce"), ranks*500)
+	}
+}

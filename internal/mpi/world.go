@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -68,6 +69,17 @@ type World struct {
 	pktFree []*packet
 
 	finish []sim.Time
+
+	// Deterministic instruments, registered on the engine's registry at
+	// NewWorld. Collective counters are pre-resolved per internal tag
+	// (slot 0 holds Allreduce, which has no tag of its own: MPICH 1.2
+	// composes it from Reduce+Bcast, whose counters also tick).
+	mEager      *metrics.Counter // sends at or under the eager limit
+	mRendezvous *metrics.Counter // sends that ran the RTS/CTS protocol
+	mSendBytes  *metrics.Counter // payload bytes handed to isend
+	mUnexpMax   *metrics.Gauge   // unexpected-queue high-water mark
+	mCollCalls  [tagAlltoall + 1]*metrics.Counter
+	mCollBytes  [tagAlltoall + 1]*metrics.Counter
 }
 
 type connKey struct{ src, dst int }
@@ -93,7 +105,28 @@ func NewWorld(e *sim.Engine, net *netsim.Network, place cluster.Placement) *Worl
 	for i := range w.ranks {
 		w.ranks[i] = &rankState{}
 	}
+
+	reg := e.Metrics()
+	w.mEager = reg.Counter("mpi", "sends_eager_total")
+	w.mRendezvous = reg.Counter("mpi", "sends_rendezvous_total")
+	w.mSendBytes = reg.Counter("mpi", "send_bytes_total")
+	w.mUnexpMax = reg.Gauge("mpi", "unexpected_queue_max")
+	for tag := tagBarrier; tag <= tagAlltoall; tag++ {
+		op := metrics.L("op", CollectiveName(tag))
+		w.mCollCalls[tag] = reg.Counter("mpi", "collective_calls_total", op)
+		w.mCollBytes[tag] = reg.Counter("mpi", "collective_bytes_total", op)
+	}
+	allreduce := metrics.L("op", "Allreduce")
+	w.mCollCalls[0] = reg.Counter("mpi", "collective_calls_total", allreduce)
+	w.mCollBytes[0] = reg.Counter("mpi", "collective_bytes_total", allreduce)
 	return w
+}
+
+// collMetric counts one rank's entry into a collective. tag indexes the
+// pre-resolved counters; 0 is Allreduce (see the field comment).
+func (w *World) collMetric(tag, size int) {
+	w.mCollCalls[tag].Inc()
+	w.mCollBytes[tag].Add(uint64(size))
 }
 
 // SetComputeModel overrides the serial-segment cost model.

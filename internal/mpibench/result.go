@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -53,6 +54,11 @@ type Result struct {
 	Scenario   string `json:"scenario,omitempty"`
 	Retries    uint64 `json:"retries,omitempty"`
 	FaultDrops uint64 `json:"fault_drops,omitempty"`
+
+	// Metrics is the run's full instrument snapshot (sim kernel, netsim,
+	// mpi). Excluded from the saved Set JSON: observability files are
+	// exported separately so recorded figure databases stay stable.
+	Metrics metrics.Snapshot `json:"-"`
 }
 
 // PointFor returns the distribution for an exact message size.

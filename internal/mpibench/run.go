@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments/sweep"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -108,6 +109,7 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	nc := net.Stats()
 	res.Retries = nc.Retries
 	res.FaultDrops = nc.FaultDrops
+	res.Metrics = e.Metrics().Snapshot()
 	if spec.Faults != nil {
 		res.Scenario = spec.Faults.Name
 	}
@@ -300,7 +302,19 @@ func (run *runner) collective(c *mpi.Comm, si, size, rep int) {
 // derivation predates sim.SubSeed and is kept so recorded figure data
 // stays reproducible.)
 func RunSweep(cfg cluster.Config, spec Spec, placements []cluster.Placement) (*Set, error) {
-	results, err := sweep.Map(spec.sweepWorkers(), len(placements), func(i int) (*Result, error) {
+	return RunSweepObserved(cfg, spec, placements, nil)
+}
+
+// RunSweepObserved is RunSweep that additionally folds every cell's
+// instrument snapshot — plus the worker pool's own counters — into agg,
+// in placement order on the calling goroutine. Pass nil to skip
+// metrics; the benchmark results are identical either way.
+func RunSweepObserved(cfg cluster.Config, spec Spec, placements []cluster.Placement, agg *metrics.Aggregate) (*Set, error) {
+	var obs *sweep.Observer
+	if agg != nil {
+		obs = sweep.NewObserver()
+	}
+	results, err := sweep.MapObserved(spec.sweepWorkers(), len(placements), obs, func(i int) (*Result, error) {
 		s := spec
 		s.Placement = placements[i]
 		s.Seed = spec.Seed + uint64(i)*1000003
@@ -312,6 +326,12 @@ func RunSweep(cfg cluster.Config, spec Spec, placements []cluster.Placement) (*S
 	set := &Set{Cluster: cfg.Name}
 	for _, r := range results {
 		set.Add(r)
+		if agg != nil {
+			agg.Merge(r.Metrics)
+		}
+	}
+	if agg != nil {
+		agg.Merge(obs.Snapshot())
 	}
 	return set, nil
 }

@@ -17,9 +17,11 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -90,6 +92,23 @@ type Network struct {
 	freeXfer []*xfer
 
 	counters Counters
+
+	// Deterministic instruments, registered on the engine's registry at
+	// New so one snapshot covers the whole cell. Per-node and per-segment
+	// series are pre-resolved into slices: the hot paths index, never
+	// format labels.
+	mTransfers *metrics.Counter
+	mIntra     *metrics.Counter
+	mCross     *metrics.Counter
+	mWireBytes *metrics.Counter
+	mHops      *metrics.Counter   // store-and-forward hops entered
+	mDropCong  *metrics.Counter   // drops from buffer overflow
+	mDropFault *metrics.Counter   // drops from the fault schedule
+	mRetries   *metrics.Counter   // retransmission timeouts (= all drops)
+	mRTODepth  *metrics.Histogram // backoff depth at each retransmission
+	mTxBytes   []*metrics.Counter // per-node NIC wire bytes, retransmits included
+	mTxFrames  []*metrics.Counter // per-node Ethernet frames clocked out
+	mSegPeak   []*metrics.Gauge   // per-segment peak backlog, ns
 }
 
 // Receiver is the allocation-free alternative to Transfer's callback: the
@@ -189,6 +208,29 @@ func New(e *sim.Engine, cfg cluster.Config) *Network {
 	for i := 0; i < cfg.NumSwitches()-1; i++ {
 		n.segments = append(n.segments, sim.NewSerializer(e, fmt.Sprintf("stack%d-%d", i, i+1)))
 	}
+
+	reg := e.Metrics()
+	n.mTransfers = reg.Counter("net", "transfers_total")
+	n.mIntra = reg.Counter("net", "intra_node_total")
+	n.mCross = reg.Counter("net", "cross_switch_total")
+	n.mWireBytes = reg.Counter("net", "wire_bytes_total")
+	n.mHops = reg.Counter("net", "store_forward_hops_total")
+	n.mDropCong = reg.Counter("net", "drops_congestion_total")
+	n.mDropFault = reg.Counter("net", "drops_fault_total")
+	n.mRetries = reg.Counter("net", "retries_total")
+	n.mRTODepth = reg.Histogram("net", "rto_backoff_depth", []int64{0, 1, 2, 3, 4, 5})
+	n.mTxBytes = make([]*metrics.Counter, cfg.Nodes)
+	n.mTxFrames = make([]*metrics.Counter, cfg.Nodes)
+	for i := range n.mTxBytes {
+		node := metrics.L("node", strconv.Itoa(i))
+		n.mTxBytes[i] = reg.Counter("net", "nic_tx_bytes_total", node)
+		n.mTxFrames[i] = reg.Counter("net", "nic_tx_frames_total", node)
+	}
+	n.mSegPeak = make([]*metrics.Gauge, len(n.segments))
+	for i := range n.mSegPeak {
+		n.mSegPeak[i] = reg.Gauge("net", "segment_backlog_ns_max",
+			metrics.L("segment", strconv.Itoa(i)))
+	}
 	return n
 }
 
@@ -254,16 +296,19 @@ func (n *Network) transfer(srcNode, dstNode, payload int, done func(TransferStat
 		panic(fmt.Sprintf("netsim: negative payload %d", payload))
 	}
 	n.counters.Transfers++
+	n.mTransfers.Inc()
 	t := n.acquireXfer()
 	t.srcNode, t.dstNode, t.payload = srcNode, dstNode, payload
 	t.start = n.e.Now()
 	t.done, t.recv = done, recv
 	if srcNode == dstNode {
 		n.counters.IntraNode++
+		n.mIntra.Inc()
 		t.intraNode()
 		return
 	}
 	n.counters.WireBytes += uint64(n.cfg.WireBytes(payload))
+	n.mWireBytes.Add(uint64(n.cfg.WireBytes(payload)))
 	t.attempt()
 }
 
@@ -308,6 +353,7 @@ func (t *xfer) attempt() {
 	// This checks only the schedule (no RNG), so it is deterministic.
 	if n.sched.NICDown(t.srcNode, n.e.Now()) || n.sched.NICDown(t.dstNode, n.e.Now()) {
 		n.counters.FaultDrops++
+		n.mDropFault.Inc()
 		n.retry(t)
 		return
 	}
@@ -316,6 +362,11 @@ func (t *xfer) attempt() {
 	// bits onto the wire at a fraction of the nominal rate.
 	txRate := cfg.LinkRate * n.sched.LinkFactor(t.srcNode, n.e.Now())
 	txService := sim.DurationFromSeconds(float64(wire) * 8 / txRate)
+
+	// Per-NIC accounting sits here, not in transfer, so retransmissions
+	// count as the real wire activity they are.
+	n.mTxBytes[t.srcNode].Add(uint64(wire))
+	n.mTxFrames[t.srcNode].Add(uint64(cfg.Frames(t.payload)))
 
 	txEnd := n.nicTx[t.srcNode].Enqueue(txService, nil)
 	txStart := txEnd.Add(-txService)
@@ -389,11 +440,13 @@ func (t *xfer) afterFabric() {
 	// runs first so healthy runs consume the loss stream identically
 	// whether or not a schedule is installed.
 	if n.dropped(n.nicRx[t.dstNode].Backlog(), cfg.NICBufferDelay()) {
+		n.mDropCong.Inc()
 		n.retry(t)
 		return
 	}
 	if boost := n.sched.DropBoost(t.dstNode, n.e.Now()); boost > 0 && n.loss.Bool(boost) {
 		n.counters.FaultDrops++
+		n.mDropFault.Inc()
 		n.retry(t)
 		return
 	}
@@ -412,6 +465,7 @@ func (t *xfer) afterFabric() {
 func (t *xfer) deliver(_, end sim.Time) {
 	if t.crossSwitch {
 		t.n.counters.CrossSwitch++
+		t.n.mCross.Inc()
 	}
 	t.finish(TransferStats{
 		Sent:        t.start,
@@ -447,10 +501,16 @@ func (t *xfer) reattempt() {
 // A buffer overflow claims the message immediately and traverseStage
 // reports it by returning true; otherwise arrive fires at handoff time.
 func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bool, arrive func()) (droppedNow bool) {
-	if wait := s.Backlog(); wait > n.counters.MaxStackWait {
+	n.mHops.Inc()
+	wait := s.Backlog()
+	if wait > n.counters.MaxStackWait {
 		n.counters.MaxStackWait = wait
 	}
-	if n.dropped(s.Backlog(), n.cfg.StackBufferDelay()) {
+	if seg >= 0 {
+		n.mSegPeak[seg].SetMax(int64(wait))
+	}
+	if n.dropped(wait, n.cfg.StackBufferDelay()) {
+		n.mDropCong.Inc()
 		return true
 	}
 	rate := n.cfg.StackRate
@@ -490,6 +550,8 @@ func (n *Network) dropped(backlog sim.Duration, threshold float64) bool {
 // pathological saturation.
 func (n *Network) retry(t *xfer) {
 	n.counters.Retries++
+	n.mRetries.Inc()
+	n.mRTODepth.Observe(int64(t.try))
 	exp := t.try
 	if exp > 5 {
 		exp = 5

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments/sweep"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -28,6 +29,12 @@ type Options struct {
 	// two Gantts localises mispredictions, and the trace alone is the
 	// paper's "location and extent of performance loss" view.
 	Trace *trace.Log
+
+	// Metrics, when non-nil, receives every replication's instrument
+	// snapshot, folded in replication order on the calling goroutine by
+	// EvaluateN/EvaluateNWorkers. (Evaluate itself does not touch it;
+	// single evaluations expose their snapshot via Report.Metrics.)
+	Metrics *metrics.Aggregate
 }
 
 // Breakdown attributes one model process's virtual time to its sources —
@@ -55,6 +62,11 @@ type Report struct {
 	MessagesSent uint64
 	Breakdowns   []Breakdown
 	HotSpots     []HotSpot // sorted by descending wait
+
+	// Metrics is the evaluation's instrument snapshot: Monte-Carlo draws
+	// per distribution, sweep rounds, messages. Each evaluation owns its
+	// machine and registry, so concurrent replications never share one.
+	Metrics metrics.Snapshot
 }
 
 // ErrModelDeadlock is wrapped by Evaluate when the modelled program can
@@ -78,11 +90,16 @@ func Evaluate(prog *Program, opts Options) (*Report, error) {
 	if opts.DB == nil {
 		return nil, errors.New("pevpm: no performance database")
 	}
+	reg := metrics.NewRegistry()
 	m := &machine{
-		prog: prog,
-		opts: opts,
-		rng:  sim.NewRNG(opts.Seed ^ 0x5eed5eed),
-		hot:  make(map[Node]float64),
+		prog:       prog,
+		opts:       opts,
+		rng:        sim.NewRNG(opts.Seed ^ 0x5eed5eed),
+		hot:        make(map[Node]float64),
+		reg:        reg,
+		mDrawInt:   reg.Counter("pevpm", "draws_total", metrics.L("dist", "inter")),
+		mDrawIntra: reg.Counter("pevpm", "draws_total", metrics.L("dist", "intra")),
+		mDrawColl:  reg.Counter("pevpm", "draws_total", metrics.L("dist", "collective")),
 	}
 	return m.run()
 }
@@ -149,6 +166,14 @@ type machine struct {
 	sent       uint64
 	sweeps     int
 	hot        map[Node]float64
+
+	// Per-evaluation instruments. The machine owns its registry (there
+	// is no sim engine here), so concurrent Monte-Carlo replications
+	// cannot race on shared counters.
+	reg        *metrics.Registry
+	mDrawInt   *metrics.Counter
+	mDrawIntra *metrics.Counter
+	mDrawColl  *metrics.Counter
 }
 
 // newFlight takes a flight record from the machine's pool, or makes one.
@@ -434,6 +459,7 @@ func (m *machine) matchCollective() (bool, error) {
 	// — rank completions within one collective are strongly correlated.)
 	cs := m.opts.DB.(CollectiveSampler)
 	size := m.procs[0].collSize
+	m.mDrawColl.Inc()
 	completion := entryMax + cs.SampleCollective(m.rng, node.Op, size, m.opts.Procs)
 	for _, p := range m.procs {
 		wait := completion - p.waitPosted
@@ -537,8 +563,10 @@ func (m *machine) match() bool {
 			continue
 		}
 		if f.intra {
+			m.mDrawIntra.Inc()
 			f.arrival = f.depart + m.opts.DB.SampleIntra(m.rng, f.size, intraContention)
 		} else {
+			m.mDrawInt.Inc()
 			f.arrival = f.depart + m.opts.DB.Sample(m.rng, f.size, interContention)
 		}
 		f.determined = true
@@ -635,6 +663,10 @@ func (m *machine) report() *Report {
 		}
 		return r.HotSpots[i].Directive < r.HotSpots[j].Directive
 	})
+	m.reg.Counter("pevpm", "replications_total").Inc()
+	m.reg.Counter("pevpm", "sweeps_total").Add(uint64(m.sweeps))
+	m.reg.Counter("pevpm", "messages_sent_total").Add(m.sent)
+	r.Metrics = m.reg.Snapshot()
 	return r
 }
 
@@ -658,20 +690,29 @@ func EvaluateNWorkers(prog *Program, opts Options, n, workers int) (stats.Summar
 	if opts.Trace != nil && workers != 1 {
 		workers = 1 // a shared trace log serialises the replications
 	}
-	makespans, err := sweep.Map(workers, n, func(i int) (float64, error) {
+	type repResult struct {
+		makespan float64
+		metrics  metrics.Snapshot
+	}
+	reps, err := sweep.Map(workers, n, func(i int) (repResult, error) {
 		o := opts
 		o.Seed = opts.Seed + uint64(i)*7919
 		rep, err := Evaluate(prog, o)
 		if err != nil {
-			return 0, err
+			return repResult{}, err
 		}
-		return rep.Makespan, nil
+		return repResult{makespan: rep.Makespan, metrics: rep.Metrics}, nil
 	})
 	if err != nil {
 		return sum, err
 	}
-	for _, m := range makespans {
-		sum.Add(m)
+	// Fold in replication order on this goroutine: same discipline as the
+	// makespan summary, so metrics are worker-count independent too.
+	for _, r := range reps {
+		sum.Add(r.makespan)
+		if opts.Metrics != nil {
+			opts.Metrics.Merge(r.metrics)
+		}
 	}
 	return sum, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // An event is a callback scheduled at a point in virtual time. Events with
@@ -43,6 +45,7 @@ func (h EventHandle) Cancel() bool {
 	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return false
 	}
+	h.e.mCancelled.Inc()
 	h.e.heapRemove(int(ev.index))
 	h.e.recycle(ev)
 	return true
@@ -83,17 +86,45 @@ type Engine struct {
 	Tracer func(t Time, line string)
 
 	stopped bool
+
+	// reg is the engine's metrics registry. Model layers built on the
+	// engine (netsim, mpi) register their instruments here, so one
+	// snapshot at the end of a run captures the whole stack of one
+	// simulation cell. The kernel counters below live on dedicated
+	// fields because they sit on the allocation-free scheduling hot
+	// path.
+	reg         *metrics.Registry
+	mScheduled  *metrics.Counter // events handed to At/Schedule
+	mCancelled  *metrics.Counter // events removed by Cancel before firing
+	mRecycled   *metrics.Counter // event structs returned to the pool
+	mSlabs      *metrics.Counter // eventChunk slabs the pool grew by
+	mHeapDepth  *metrics.Gauge   // deepest simultaneous event queue
+	mProcsTotal *metrics.Counter // processes spawned
+	mProcsPeak  *metrics.Gauge   // most processes alive at once
 }
 
 // NewEngine returns an engine whose random streams derive from seed.
 // The same seed always yields the same simulation.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
+	e := &Engine{
 		seed:  seed,
 		rngs:  make(map[string]*RNG),
 		procs: make(map[*Proc]struct{}),
+		reg:   metrics.NewRegistry(),
 	}
+	e.mScheduled = e.reg.Counter("sim", "events_scheduled_total")
+	e.mCancelled = e.reg.Counter("sim", "events_cancelled_total")
+	e.mRecycled = e.reg.Counter("sim", "events_recycled_total")
+	e.mSlabs = e.reg.Counter("sim", "event_pool_slabs_total")
+	e.mHeapDepth = e.reg.Gauge("sim", "event_heap_depth_max")
+	e.mProcsTotal = e.reg.Counter("sim", "procs_spawned_total")
+	e.mProcsPeak = e.reg.Gauge("sim", "procs_alive_max")
+	return e
 }
+
+// Metrics returns the engine's registry. Layers built on the engine
+// register their instruments here; one Snapshot captures the cell.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -126,6 +157,7 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n]
 		return ev
 	}
+	e.mSlabs.Inc()
 	chunk := make([]event, eventChunk)
 	for i := range chunk[1:] {
 		chunk[1+i].index = -1
@@ -139,6 +171,7 @@ func (e *Engine) alloc() *event {
 // generation invalidates every handle to the life that just ended, and
 // dropping fn releases the callback's closure to the collector.
 func (e *Engine) recycle(ev *event) {
+	e.mRecycled.Inc()
 	ev.fn = nil
 	ev.gen++
 	e.free = append(e.free, ev)
@@ -158,11 +191,13 @@ func (e *Engine) At(t Time, fn func()) EventHandle {
 		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
 	}
 	e.seq++
+	e.mScheduled.Inc()
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
 	e.heapPush(ev)
+	e.mHeapDepth.SetMax(int64(len(e.events)))
 	return EventHandle{e: e, ev: ev, gen: ev.gen}
 }
 

@@ -64,6 +64,8 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	}
 	p.wakeFn = p.wake
 	e.procs[p] = struct{}{}
+	e.mProcsTotal.Inc()
+	e.mProcsPeak.SetMax(int64(len(e.procs)))
 	go func() {
 		if sig := <-p.resume; sig == sigKill {
 			p.yield <- nil

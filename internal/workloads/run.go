@@ -15,6 +15,7 @@ package workloads
 import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -26,6 +27,7 @@ type ExecResult struct {
 	Makespan    sim.Time   // time the last rank finished
 	FinishTimes []sim.Time // per-rank completion
 	Net         netsim.Counters
+	Metrics     metrics.Snapshot // full instrument snapshot of the run
 }
 
 // Execute runs program on a fresh simulated cluster with the given
@@ -59,5 +61,6 @@ func ExecuteFaults(cfg cluster.Config, pl cluster.Placement, seed uint64,
 		Makespan:    end,
 		FinishTimes: w.FinishTimes(),
 		Net:         net.Stats(),
+		Metrics:     e.Metrics().Snapshot(),
 	}, nil
 }

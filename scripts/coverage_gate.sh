@@ -1,0 +1,96 @@
+#!/bin/sh
+# Per-package test-coverage gate.
+#
+#   scripts/coverage_gate.sh           check against scripts/coverage_floor.txt
+#   scripts/coverage_gate.sh -update   rewrite the floor from the current run
+#
+# One `go test -coverprofile` run covers every package; per-package
+# percentages are computed from the merged profile (statements covered /
+# statements total, deduplicated by block). The gate fails when any
+# package with a floor entry — or the repository total — drops more than
+# one point below its floor, so coverage can only ratchet down
+# deliberately (improve it, then -update and commit the new floor).
+# Packages without tests produce no profile entries and are not gated.
+#
+# When GITHUB_STEP_SUMMARY is set (GitHub Actions), the per-package
+# delta table is appended there as markdown.
+set -eu
+cd "$(dirname "$0")/.."
+
+profile="${COVERPROFILE:-coverage.out}"
+floor=scripts/coverage_floor.txt
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+awk '
+NR > 1 {
+	i = index($1, ":"); pkg = substr($1, 1, i - 1)
+	sub(/\/[^\/]*$/, "", pkg)
+	key = pkg SUBSEP $1
+	stmts[key] = $(NF - 1)
+	if ($NF > 0) hit[key] = 1
+}
+END {
+	for (key in stmts) {
+		split(key, k, SUBSEP); p = k[1]
+		total[p] += stmts[key]; gtotal += stmts[key]
+		if (key in hit) { cov[p] += stmts[key]; gcov += stmts[key] }
+	}
+	for (p in total) printf "%s %.1f\n", p, 100 * cov[p] / total[p]
+	printf "total %.1f\n", 100 * gcov / gtotal
+}' "$profile" | sort >"$current"
+
+if [ "${1:-}" = "-update" ]; then
+	cp "$current" "$floor"
+	echo "coverage_gate: floor rewritten:"
+	cat "$floor"
+	exit 0
+fi
+
+if [ ! -f "$floor" ]; then
+	echo "coverage_gate: $floor missing; run scripts/coverage_gate.sh -update" >&2
+	exit 1
+fi
+
+fail=0
+table="| package | floor % | current % | delta |
+|---|---:|---:|---:|"
+while read -r pkg base; do
+	cur=$(awk -v p="$pkg" '$1 == p { print $2 }' "$current")
+	if [ -z "$cur" ]; then
+		echo "coverage_gate: FAIL $pkg has a floor ($base%) but produced no coverage" >&2
+		fail=1
+		continue
+	fi
+	row=$(awk -v p="$pkg" -v c="$cur" -v b="$base" 'BEGIN {
+		printf "| %s | %s | %s | %+.1f |", p, b, c, c - b
+		exit (c >= b - 1.0) ? 0 : 1
+	}') || {
+		echo "coverage_gate: FAIL $pkg regressed to $cur% (floor $base%, 1pt grace)" >&2
+		fail=1
+	}
+	table="$table
+$row"
+done <"$floor"
+
+# Surface packages the floor does not know about yet.
+awk 'NR == FNR { seen[$1] = 1; next } !($1 in seen) { print $1, $2 }' "$floor" "$current" |
+	while read -r pkg cur; do
+		echo "coverage_gate: note: $pkg ($cur%) has no floor entry; consider -update" >&2
+	done
+
+echo "$table"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+	{
+		echo "### Coverage vs floor"
+		echo "$table"
+	} >>"$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$fail" -ne 0 ]; then
+	echo "coverage_gate: coverage regressed below the committed floor" >&2
+	exit 1
+fi
+echo "coverage_gate: all packages at or above floor (1pt grace)"

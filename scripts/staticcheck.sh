@@ -1,0 +1,22 @@
+#!/bin/sh
+# Pinned staticcheck sweep (honnef.co/go/tools). Nothing is vendored:
+# the tool is fetched and executed through `go run`, so the module
+# version below is the single source of truth for what CI enforces.
+#
+# Offline environments cannot fetch the module; they skip with a notice
+# and exit 0 so `make ci` stays runnable without network access. GitHub
+# CI always reaches the proxy and runs the real check.
+set -eu
+cd "$(dirname "$0")/.."
+
+VERSION=2025.1.1
+
+# Probe availability first: `go run` of an uncached module needs the
+# proxy, and we want a clean skip rather than a misleading failure.
+if ! go run "honnef.co/go/tools/cmd/staticcheck@$VERSION" -version >/dev/null 2>&1; then
+	echo "staticcheck: cannot fetch honnef.co/go/tools@$VERSION (offline?); skipping" >&2
+	echo "staticcheck: the check runs for real in GitHub CI" >&2
+	exit 0
+fi
+
+exec go run "honnef.co/go/tools/cmd/staticcheck@$VERSION" ./...
