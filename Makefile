@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint staticcheck coverage ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
+.PHONY: all build vet test race lint detlint staticcheck coverage ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
 
 all: build
 
@@ -23,6 +23,13 @@ race:
 # model and lint fixture, checking each file's expected exit code.
 lint:
 	./scripts/lint_sweep.sh
+
+# detlint enforces the determinism and zero-alloc contracts with the
+# repository's own analyzers (internal/detlint, docs/DETLINT.md):
+# wallclock/maprange/rng over the deterministic packages, hotpath over
+# every //detlint:hotpath function. Stdlib-only, so it runs offline.
+detlint:
+	$(GO) run ./cmd/detlint -werror ./...
 
 # staticcheck runs the pinned honnef.co staticcheck sweep via `go run`
 # (nothing is vendored). Offline environments skip with a notice; CI

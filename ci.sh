@@ -6,25 +6,29 @@
 #      notice when the module proxy is unreachable; see
 #      scripts/staticcheck.sh)
 #   2. the full test suite under the race detector
-#   3. the mpilint sweep over every shipped .pvm model and fixture,
+#   3. the detlint sweep: the repository's own determinism/zero-alloc
+#      analyzers (internal/detlint, docs/DETLINT.md) over every
+#      package, warnings promoted to errors; stdlib-only, never skipped
+#   4. the mpilint sweep over every shipped .pvm model and fixture,
 #      checking each file's expected clean/finding exit code
-#   4. the determinism diff: cmd/repro run twice with the same seed,
+#   5. the determinism diff: cmd/repro run twice with the same seed,
 #      serial (-parallel=1) and at the default worker count — any byte
 #      of divergence in the figures or the -metrics snapshot fails,
 #      and both must match their committed golden files
-#   5. the fault-injection gates: one scenario preset smoke-run through
+#   6. the fault-injection gates: one scenario preset smoke-run through
 #      the CLI, then the serial-vs-parallel determinism diff of the
 #      full perturbed sweep (figures and metrics)
-#   6. the pprof smoke: `make profile` must produce non-empty CPU and
+#   7. the pprof smoke: `make profile` must produce non-empty CPU and
 #      allocation profiles (tooling stays usable; timing not gated)
-#   7. the benchmark-regression gate against BENCH_baseline.json
-#   8. the coverage gate against scripts/coverage_floor.txt
+#   8. the benchmark-regression gate against BENCH_baseline.json
+#   9. the coverage gate against scripts/coverage_floor.txt
 set -eux
 
 go vet ./...
 go build ./...
 make staticcheck
 go test -race ./...
+make detlint
 make lint
 make determinism
 make faults-smoke

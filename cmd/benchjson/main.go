@@ -93,6 +93,7 @@ func benchParams(seed uint64, workers int) experiments.Params {
 // compared as multiples of this, so machine speed divides out of the
 // regression check while simulator slowdowns do not.
 func calibrate() float64 {
+	//detlint:allow wallclock -- the *_wall_s ledger metrics are wall timings by design; they are calibration-normalised, never diffed byte-for-byte
 	start := time.Now()
 	x := uint64(0x9e3779b97f4a7c15)
 	var sink uint64
@@ -105,6 +106,7 @@ func calibrate() float64 {
 	if sink == 42 { // defeat dead-code elimination
 		fmt.Fprintln(os.Stderr, "")
 	}
+	//detlint:allow wallclock -- see calibrate: wall metrics are the ledger's measurement, not simulation output
 	return time.Since(start).Seconds()
 }
 
@@ -114,10 +116,12 @@ func measure(seed uint64, workers int) (*File, error) {
 	m := map[string]float64{"calibration_wall_s": calibrate()}
 
 	timed := func(name string, f func() error) error {
+		//detlint:allow wallclock -- *_wall_s metrics are deliberate wall timings, normalised by calibrate() before comparison
 		start := time.Now()
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		//detlint:allow wallclock -- see above: ledger wall metric, not simulation output
 		m[name+"_wall_s"] = time.Since(start).Seconds()
 		return nil
 	}
@@ -234,12 +238,27 @@ func measure(seed uint64, workers int) (*File, error) {
 		return nil, err
 	}
 
-	for name, v := range m {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("metric %s is %v", name, v)
-		}
+	if name, v, bad := firstNonFinite(m); bad {
+		return nil, fmt.Errorf("metric %s is %v", name, v)
 	}
 	return &File{Schema: 1, Go: runtime.Version(), Metrics: m}, nil
+}
+
+// firstNonFinite scans in sorted order so the metric named in the
+// error is stable when several are non-finite (map order would pick
+// one at random).
+func firstNonFinite(m map[string]float64) (string, float64, bool) {
+	checked := make([]string, 0, len(m))
+	for name := range m {
+		checked = append(checked, name)
+	}
+	sort.Strings(checked)
+	for _, name := range checked {
+		if v := m[name]; !finite(v) {
+			return name, v, true
+		}
+	}
+	return "", 0, false
 }
 
 func writeFile(path string, f *File) error {
@@ -349,11 +368,18 @@ func compare(cur, base *File, tol, dtol float64) int {
 				status, name, c, b, drift*100, dtol*100)
 		}
 	}
+	// Collect-then-sort: printing inside the map range made the FAIL
+	// line order nondeterministic whenever two or more metrics were new.
+	var missing []string
 	for name := range cur.Metrics {
 		if _, ok := base.Metrics[name]; !ok {
-			fmt.Printf("FAIL %-34s new metric not in baseline (refresh BENCH_baseline.json)\n", name)
-			failures++
+			missing = append(missing, name)
 		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("FAIL %-34s new metric not in baseline (refresh BENCH_baseline.json)\n", name)
+		failures++
 	}
 	if failures > 0 {
 		fmt.Printf("benchjson: %d metric(s) regressed or drifted — see docs/CI.md for how to refresh the baseline\n", failures)

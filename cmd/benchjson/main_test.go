@@ -1,7 +1,11 @@
 package main
 
 import (
+	"io"
 	"math"
+	"os"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -124,6 +128,79 @@ func TestCompareZeroBaselineMetric(t *testing.T) {
 	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.1})
 	if got := compare(cur, base, 0.15, 0.05); got != 1 {
 		t.Errorf("zero baseline, nonzero current: compare = %d, want 1", got)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed (compare reports through fmt.Printf).
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestCompareNewMetricLinesSorted pins the fix for a nondeterministic
+// report: FAIL lines for metrics missing from the baseline used to be
+// printed straight out of a map range, so two runs over the same pair
+// of files ordered them differently. Several iterations make a relapse
+// into map order overwhelmingly likely to trip the sorted check.
+func TestCompareNewMetricLinesSorted(t *testing.T) {
+	base := bench(map[string]float64{"calibration_wall_s": 1.0})
+	cur := bench(map[string]float64{
+		"calibration_wall_s": 1.0,
+		"new_e":              1, "new_b": 2, "new_d": 3, "new_a": 4, "new_c": 5,
+	})
+	for i := 0; i < 16; i++ {
+		out := captureStdout(t, func() {
+			if got := compare(cur, base, 0.15, 0.05); got != 1 {
+				t.Errorf("compare = %d, want 1", got)
+			}
+		})
+		var names []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "FAIL new_") {
+				names = append(names, strings.Fields(line)[1])
+			}
+		}
+		if len(names) != 5 {
+			t.Fatalf("iteration %d: got %d new-metric FAIL lines, want 5:\n%s", i, len(names), out)
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("iteration %d: new-metric FAIL lines out of order: %v", i, names)
+		}
+	}
+}
+
+// TestFirstNonFiniteStable pins the companion fix in measure: when
+// several metrics are non-finite, the one named in the error is the
+// alphabetically first, not whichever map order surfaced.
+func TestFirstNonFiniteStable(t *testing.T) {
+	m := map[string]float64{
+		"a_fine": 1.0,
+		"b_bad":  math.NaN(),
+		"m_bad":  math.Inf(1),
+		"z_bad":  math.NaN(),
+	}
+	for i := 0; i < 32; i++ {
+		name, v, bad := firstNonFinite(m)
+		if !bad || name != "b_bad" || !math.IsNaN(v) {
+			t.Fatalf("iteration %d: firstNonFinite = (%q, %v, %v), want (b_bad, NaN, true)", i, name, v, bad)
+		}
+	}
+	if _, _, bad := firstNonFinite(map[string]float64{"ok": 1}); bad {
+		t.Error("all-finite map reported a bad metric")
 	}
 }
 

@@ -1,0 +1,138 @@
+// Command detlint runs the determinism and zero-alloc analyzers over
+// the repository (see internal/detlint and docs/DETLINT.md).
+//
+// Usage:
+//
+//	detlint [flags] [packages]
+//	detlint ./...
+//	detlint -json -analyzers wallclock,rng ./internal/...
+//
+// Packages default to ./... relative to the module root, which is
+// discovered by walking up from the current directory. Exit status is 0
+// when no error-severity findings were reported (warnings alone do not
+// fail the run unless -werror is set), 1 when any error was found, and
+// 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/detlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	werror := fs.Bool("werror", false, "treat warnings as errors")
+	analyzersArg := fs.String("analyzers", "",
+		"comma-separated analyzer subset to run (default: all of "+analyzerNames()+")")
+	detAll := fs.Bool("det-all", false,
+		"treat every package as deterministic instead of the configured set")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: detlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*analyzersArg)
+	if err != nil {
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
+		return 2
+	}
+
+	root, err := detlint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := detlint.LoadPackages(root, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
+		return 2
+	}
+
+	findings := detlint.RunPackages(pkgs, detlint.Config{
+		Analyzers:          analyzers,
+		ForceDeterministic: *detAll,
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []detlint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+			if f.Fix != nil {
+				fmt.Fprintf(stdout, "\tfix: %s\n", f.Fix.Description)
+			}
+		}
+	}
+
+	errors := detlint.Count(findings, detlint.SeverityError)
+	warnings := detlint.Count(findings, detlint.SeverityWarning)
+	if !*asJSON && len(findings) > 0 {
+		fmt.Fprintf(stdout, "%d error(s), %d warning(s)\n", errors, warnings)
+	}
+	if errors > 0 || (*werror && warnings > 0) {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the registered
+// families; empty means all.
+func selectAnalyzers(arg string) ([]*detlint.Analyzer, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	byName := make(map[string]*detlint.Analyzer)
+	for _, a := range detlint.All() {
+		byName[a.Name] = a
+	}
+	var out []*detlint.Analyzer
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, analyzerNames())
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -analyzers list")
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range detlint.All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ",")
+}

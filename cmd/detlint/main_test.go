@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/detlint"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden JSON fixtures")
+
+const (
+	rngFixture  = "internal/detlint/testdata/src/rng"
+	warnFixture = "internal/detlint/testdata/src/warnonly"
+)
+
+func runCLI(t *testing.T, argv ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(argv, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestRepoClean is the gate the Makefile target relies on: the
+// repository's own packages carry no findings, warnings included.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	code, stdout, stderr := runCLI(t, "-werror", "./...")
+	if code != 0 {
+		t.Fatalf("detlint -werror ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+func TestExitCodeErrorFindings(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-det-all", "-analyzers", "rng", rngFixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[rng/math-rand-import]") {
+		t.Errorf("missing math-rand-import finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "error(s)") {
+		t.Errorf("missing summary line:\n%s", stdout)
+	}
+}
+
+func TestExitCodeWarningsPassWithoutWerror(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-det-all", "-analyzers", "rng", warnFixture)
+	if code != 0 {
+		t.Fatalf("warnings-only run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "0 error(s), 1 warning(s)") {
+		t.Errorf("expected a 0-error 1-warning summary:\n%s", stdout)
+	}
+}
+
+func TestExitCodeWerrorPromotesWarnings(t *testing.T) {
+	code, _, _ := runCLI(t, "-det-all", "-werror", "-analyzers", "rng", warnFixture)
+	if code != 1 {
+		t.Fatalf("warnings-only run under -werror = %d, want 1", code)
+	}
+}
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-analyzers", "nosuch", rngFixture}, // unknown analyzer
+		{"internal/detlint/no/such/dir"},     // unloadable package pattern
+		{"-badflag"},                         // flag parse error
+	}
+	for _, argv := range cases {
+		if code, _, _ := runCLI(t, argv...); code != 2 {
+			t.Errorf("detlint %v = %d, want 2", argv, code)
+		}
+	}
+}
+
+// TestGoldenJSON pins the -json schema: field names, severity strings,
+// module-relative paths and ordering. Regenerate deliberately with
+// go test ./cmd/detlint -run TestGoldenJSON -update-golden.
+func TestGoldenJSON(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-json", "-det-all", "-analyzers", "rng", rngFixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "golden_rng.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("-json output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, stdout, want)
+	}
+	// The golden bytes must stay parseable as the public Finding schema.
+	var back []detlint.Finding
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden does not parse as []detlint.Finding: %v", err)
+	}
+	if len(back) == 0 {
+		t.Fatal("golden fixture is empty; it must pin at least one finding")
+	}
+	for _, f := range back {
+		if f.Analyzer == "" || f.Rule == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("golden finding missing required fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("golden finding leaks an absolute path: %s", f.File)
+		}
+	}
+}
+
+func TestJSONEmptyArrayOnCleanRun(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-det-all", "-analyzers", "maprange", warnFixture)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json run must print an empty array, got %q", stdout)
+	}
+}

@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/mpilint"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden JSON fixtures")
 
 const fixtures = "../../internal/mpilint/testdata/"
 
@@ -36,7 +41,7 @@ func TestCLIDeadlockExitsOne(t *testing.T) {
 	if !strings.Contains(out, "deadlock-cycle") || !strings.Contains(out, "circular wait") {
 		t.Errorf("output missing deadlock diagnosis:\n%s", out)
 	}
-	if !strings.Contains(out, "deadlock_ring.pvm:5") {
+	if !strings.Contains(out, "deadlock_ring.pvm:6") {
 		t.Errorf("output does not cite file:line:\n%s", out)
 	}
 }
@@ -52,6 +57,56 @@ func TestCLIJSONOutput(t *testing.T) {
 	}
 	if len(fs) != 1 || fs[0].Rule != mpilint.RuleUnmatchedSend {
 		t.Errorf("findings = %+v", fs)
+	}
+}
+
+// TestCLIJSONGolden pins the -json schema byte-for-byte: field names,
+// severity strings, position format and finding order. Downstream
+// tooling parses this output, so drift must be deliberate — regenerate
+// with go test ./cmd/mpilint -run TestCLIJSONGolden -update-golden.
+func TestCLIJSONGolden(t *testing.T) {
+	code, out, stderr := runCLI(t, "-procs", "4", "-json", fixtures+"deadlock_ring.pvm")
+	if code != 1 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "golden_deadlock_ring.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, out, want)
+	}
+	var fs []mpilint.Finding
+	if err := json.Unmarshal(want, &fs); err != nil {
+		t.Fatalf("golden does not parse as []mpilint.Finding: %v", err)
+	}
+	if len(fs) == 0 {
+		t.Fatal("golden fixture is empty; it must pin at least one finding")
+	}
+	for _, f := range fs {
+		if f.Rule == "" || f.Pos == "" || f.Message == "" {
+			t.Errorf("golden finding missing required fields: %+v", f)
+		}
+	}
+}
+
+func TestCLIParseErrorExitsTwo(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "broken.pvm")
+	if err := os.WriteFile(bad, []byte("PEVPM Message type =\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, bad)
+	if code != 2 || stderr == "" {
+		t.Errorf("parse error: exit = %d, stderr = %q, want 2 with a message", code, stderr)
 	}
 }
 

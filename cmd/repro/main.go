@@ -276,7 +276,9 @@ func bars(n int) string {
 }
 
 func printFigure6(cfg cluster.Config, p experiments.Params, timing bool) error {
+	//detlint:allow wallclock -- -timing output is opt-in and excluded from the determinism diffs (ci runs -timing=false)
 	start := time.Now()
+	//detlint:allow wallclock -- same: wall seconds only ever reach the opt-in -timing lines
 	elapsed := func() float64 { return time.Since(start).Seconds() }
 	if !timing {
 		elapsed = nil // keep the output free of wall-clock-dependent lines

@@ -1,0 +1,330 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAnalyzer enforces the zero-alloc contract on functions
+// annotated //detlint:hotpath (the pooled paths: event schedule/pop,
+// netsim transfer stages, MPI packet arrival, histogram
+// Sample/Quantile). It complements the AllocsPerRun tests: those prove
+// today's binary is clean, this catches the allocation at the line
+// that introduces it, in review rather than in a benchmark diff.
+//
+// Errors (always allocate or imply it):
+//   - closures capturing local variables (an escaping environment)
+//   - fmt.* calls (interface boxing plus reflection)
+//   - non-constant string concatenation
+//
+// Warnings (allocate unless a pool or preallocation hides it):
+//   - boxing a concrete value into an interface argument
+//   - append to a slice declared locally without capacity
+//
+// HotPathAnalyzer is annotation-driven and therefore runs on every
+// package, not just the deterministic set.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation idioms in //detlint:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !isHotPath(pass, fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+}
+
+// isHotPath reports whether fn carries a //detlint:hotpath directive
+// in its doc comment or on the line directly above its declaration.
+func isHotPath(pass *Pass, fn *ast.FuncDecl) bool {
+	declLine := pass.Position(fn.Pos()).Line
+	from := declLine - 1
+	if fn.Doc != nil {
+		from = pass.Position(fn.Doc.Pos()).Line
+	}
+	return pass.directives.hotpathBetween(pass.Position(fn.Pos()).Filename, from, declLine)
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkClosure(pass, fn, n)
+			// Do not descend: the literal runs outside the hot path
+			// (or is itself flagged); its body is not hot-path code.
+			return false
+		case *ast.CallExpr:
+			// Allocations that happen only while panicking (the
+			// `panic(fmt.Sprintf(...))` guard idiom) are off the steady
+			// state: skip the whole argument subtree.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if obj := pass.Info.Uses[id]; obj == nil || obj.Parent() == types.Universe {
+					return false
+				}
+			}
+			checkCallBoxing(pass, n)
+			checkAppendCapacity(pass, fn, n)
+		case *ast.BinaryExpr:
+			checkStringConcat(pass, n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), SeverityError, "string-concat",
+					"string += allocates on every call; build into a preallocated []byte or precompute the string")
+			}
+		}
+		return true
+	})
+}
+
+// checkClosure flags function literals that capture variables from the
+// enclosing function: the shared environment escapes to the heap. A
+// literal that captures nothing compiles to a static function value
+// and is allowed.
+func checkClosure(pass *Pass, enclosing *ast.FuncDecl, lit *ast.FuncLit) {
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Captured means: declared in the enclosing function but
+		// outside the literal. Package-level variables are accessed
+		// directly and force no environment.
+		if obj.Pos() >= enclosing.Pos() && obj.Pos() < lit.Pos() {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		pass.ReportFix(lit.Pos(), SeverityError, "capturing-closure",
+			&Fix{Description: "bind the state once at construction time (method value prebound in a struct field) or pass it as an argument"},
+			"closure captures %v: the environment escapes to the heap on every call", captured)
+	}
+}
+
+// checkCallBoxing flags concrete values passed to interface
+// parameters. Pointers, channels, maps and funcs are pointer-shaped
+// and convert without allocating; everything else is boxed.
+func checkCallBoxing(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if fn, isFmt := calleeFunc(pass, call); isFmt {
+		pass.Reportf(call.Pos(), SeverityError, "fmt-call",
+			"fmt.%s allocates (boxing + reflection); format outside the hot path or use strconv.Append*", fn.Name())
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a spread slice is passed through, not boxed per element
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argTV, ok := pass.Info.Types[arg]
+		if !ok || argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		at := argTV.Type
+		if types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		pass.ReportFix(arg.Pos(), SeverityWarning, "interface-boxing",
+			&Fix{Description: "pass a pointer, a pointer-shaped type, or restructure the callee to take the concrete type"},
+			"%s value boxed into %s parameter allocates", at, paramType)
+	}
+}
+
+// calleeFunc resolves the called function and reports whether it lives
+// in package fmt.
+func calleeFunc(pass *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	return fn, fn.Pkg().Path() == "fmt"
+}
+
+// isPointerShaped reports whether converting t to an interface stores
+// the value directly in the interface word (no allocation).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkAppendCapacity warns on append to a slice the function declared
+// without capacity: steady-state growth reallocates. Appends to
+// parameters, fields or make()-with-cap slices are assumed pooled or
+// preallocated.
+func checkAppendCapacity(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return
+		}
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[target].(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	if obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+		return // not declared in this function
+	}
+	decl := findLocalDecl(fn, obj, pass)
+	if decl == nil || declHasCapacity(pass, decl) {
+		return
+	}
+	pass.ReportFix(call.Pos(), SeverityWarning, "append-no-cap",
+		&Fix{Description: "declare the slice with make([]T, 0, n) sized to the expected element count"},
+		"append grows %s, declared without capacity; preallocate or reuse a pooled buffer", target.Name)
+}
+
+// findLocalDecl locates the expression that initialises obj inside fn:
+// the RHS of its := / var declaration, or nil for parameters.
+func findLocalDecl(fn *ast.FuncDecl, obj types.Object, pass *Pass) ast.Expr {
+	var init ast.Expr
+	declared := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.Info.Defs[id] == obj {
+					declared = true
+					if i < len(n.Rhs) {
+						init = n.Rhs[i]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] == obj {
+					declared = true
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !declared {
+		return nil
+	}
+	if init == nil {
+		// `var s []T` with no initialiser: zero capacity by definition;
+		// return a marker distinct from nil.
+		return &ast.Ident{Name: "_zero"}
+	}
+	return init
+}
+
+// declHasCapacity reports whether the initialiser guarantees capacity:
+// make with a cap (or non-zero len) argument, or a non-empty composite
+// literal, or a call (assumed to return a sized slice).
+func declHasCapacity(pass *Pass, init ast.Expr) bool {
+	switch e := init.(type) {
+	case *ast.Ident:
+		return e.Name != "_zero" // the zero-value marker from findLocalDecl
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+					if len(e.Args) >= 3 {
+						return true // make([]T, len, cap)
+					}
+					if len(e.Args) == 2 {
+						// make([]T, n): capacity n; zero only if the
+						// literal constant 0.
+						tv := pass.Info.Types[e.Args[1]]
+						return tv.Value == nil || tv.Value.String() != "0"
+					}
+					return false
+				}
+			}
+		}
+		return true // some other call producing the slice: assume sized
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	}
+	return true
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// checkStringConcat flags non-constant string + string.
+func checkStringConcat(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD || !isStringExpr(pass, bin) {
+		return
+	}
+	if tv, ok := pass.Info.Types[bin]; ok && tv.Value != nil {
+		return // folded at compile time
+	}
+	pass.Reportf(bin.Pos(), SeverityError, "string-concat",
+		"string concatenation allocates; precompute the string or write into a reused []byte")
+}

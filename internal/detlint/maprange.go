@@ -1,0 +1,358 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags range statements over maps in deterministic
+// packages. Go randomises map iteration order per run, so any map
+// range whose body can influence output, hashing, metric folding or
+// event scheduling breaks the bit-identical contract. A range is
+// accepted without annotation only when the analyzer can prove order
+// cannot matter:
+//
+//   - collect-then-sort: the body only appends to a local slice that a
+//     later statement in the same block passes to sort/slices.
+//   - per-key map writes: every statement stores into a map indexed by
+//     the range key (a commutative keyed write, e.g. copying params
+//     into an Env).
+//   - integer accumulation: every statement is a call-free +=, |=, &=,
+//     ^= or ++/-- on integers (commutative and associative; float
+//     accumulation is NOT accepted — float addition is order-sensitive).
+//
+// Everything else needs a //detlint:ordered -- <justification> hatch.
+var MapRangeAnalyzer = &Analyzer{
+	Name:              "maprange",
+	Doc:               "forbid unordered map iteration in deterministic packages unless provably order-insensitive",
+	DeterministicOnly: true,
+	Run:               runMapRange,
+}
+
+// listPos locates a statement inside its enclosing statement list so
+// the collect-then-sort proof can look at later siblings.
+type listPos struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func runMapRange(pass *Pass) {
+	for _, file := range pass.Files {
+		parents := stmtLists(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pos := pass.Position(rng.Pos())
+			if pass.directives.ordered(pos.Filename, pos.Line) {
+				return true
+			}
+			if provedOrderInsensitive(pass, rng, parents) {
+				return true
+			}
+			keyType := "K"
+			if m, ok := tv.Type.Underlying().(*types.Map); ok {
+				keyType = m.Key().String()
+			}
+			pass.ReportFix(rng.Pos(), SeverityError, "unordered-iteration",
+				&Fix{
+					Description: "iterate in sorted key order",
+					Replacement: "keys := make([]" + keyType + ", 0, len(m))\nfor k := range m { keys = append(keys, k) }\nsort.Slice(keys, ...)\nfor _, k := range keys { ... }",
+				},
+				"range over map has nondeterministic iteration order; sort the keys first or justify with //detlint:ordered -- <why>")
+			return true
+		})
+	}
+}
+
+// stmtLists indexes every statement by its containing statement list.
+func stmtLists(file *ast.File) map[ast.Stmt]listPos {
+	out := make(map[ast.Stmt]listPos)
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = listPos{list, i}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// provedOrderInsensitive applies the three mechanical proofs.
+func provedOrderInsensitive(pass *Pass, rng *ast.RangeStmt, parents map[ast.Stmt]listPos) bool {
+	if collectThenSort(pass, rng, parents) {
+		return true
+	}
+	body := rng.Body.List
+	if len(body) == 0 {
+		return true // an empty body observes nothing
+	}
+	allKeyed, allAccum := true, true
+	for _, s := range body {
+		if !isPerKeyWrite(pass, s, rng) {
+			allKeyed = false
+		}
+		if !isIntAccumulation(pass, s) {
+			allAccum = false
+		}
+	}
+	return allKeyed || allAccum
+}
+
+// collectThenSort proves the idiom
+//
+//	for k := range m { out = append(out, ...) }   // possibly under one if
+//	sort.Strings(out)                             // later in the same block
+//
+// The slice's element order is unspecified until the sort runs, so the
+// map order cannot escape. The optional if-wrapper must have a
+// call-free condition (a call could carry order-dependent side
+// effects).
+func collectThenSort(pass *Pass, rng *ast.RangeStmt, parents map[ast.Stmt]listPos) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	stmt := rng.Body.List[0]
+	if ifs, ok := stmt.(*ast.IfStmt); ok {
+		if ifs.Else != nil || hasCall(ifs.Cond) || len(ifs.Body.List) != 1 {
+			return false
+		}
+		if ifs.Init != nil {
+			// A call-free init (`if _, ok := m[k]; !ok`) cannot carry
+			// order-dependent side effects.
+			init, ok := ifs.Init.(*ast.AssignStmt)
+			if !ok {
+				return false
+			}
+			for _, e := range init.Rhs {
+				if hasCall(e) {
+					return false
+				}
+			}
+		}
+		stmt = ifs.Body.List[0]
+	}
+	target, ok := appendTarget(pass, stmt)
+	if !ok {
+		return false
+	}
+	at, ok := parents[ast.Stmt(rng)]
+	if !ok {
+		return false
+	}
+	for _, later := range at.list[at.idx+1:] {
+		if sortsSlice(pass, later, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceRef identifies the slice an append grows: a plain variable
+// (base only) or a single-level selector like r.HotSpots (base object
+// + field name).
+type sliceRef struct {
+	base  types.Object
+	field string
+}
+
+// resolveSliceRef resolves an ident or ident.field expression.
+func resolveSliceRef(pass *Pass, e ast.Expr) (sliceRef, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil {
+			return sliceRef{base: obj}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := e.X.(*ast.Ident)
+		if !ok {
+			return sliceRef{}, false
+		}
+		if obj := pass.Info.Uses[base]; obj != nil {
+			return sliceRef{base: obj, field: e.Sel.Name}, true
+		}
+	}
+	return sliceRef{}, false
+}
+
+// appendTarget returns the slice reference in `x = append(x, ...)` or
+// `x.f = append(x.f, ...)`, or false for any other statement shape.
+func appendTarget(pass *Pass, s ast.Stmt) (sliceRef, bool) {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return sliceRef{}, false
+	}
+	lhs, ok := resolveSliceRef(pass, assign.Lhs[0])
+	if !ok {
+		return sliceRef{}, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return sliceRef{}, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return sliceRef{}, false
+	}
+	if obj := pass.Info.Uses[fn]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return sliceRef{}, false
+		}
+	}
+	first, ok := resolveSliceRef(pass, call.Args[0])
+	if !ok || first != lhs {
+		return sliceRef{}, false
+	}
+	return lhs, true
+}
+
+// sortsSlice reports whether stmt sorts the target: a
+// sort.X(target, ...) / slices.Sort*(target, ...) call, or a
+// sort/Sort-named method invoked on the target's base value (the
+// `s.Counters = append(...)` ... `s.sort()` idiom).
+func sortsSlice(pass *Pass, stmt ast.Stmt, target sliceRef) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+			for _, arg := range call.Args {
+				if ref, ok := resolveSliceRef(pass, arg); ok && ref == target {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Method form: target.base.sort() with a field target — trust that a
+	// method literally named sort/Sort on the holder orders its slices.
+	if target.field == "" || (fn.Name() != "sort" && fn.Name() != "Sort") {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	return ok && pass.Info.Uses[recv] == target.base
+}
+
+// isPerKeyWrite accepts `dst[k] = v` where the index mentions the
+// range key and the right-hand side calls nothing: a commutative keyed
+// store whose result is independent of visit order.
+func isPerKeyWrite(pass *Pass, s ast.Stmt, rng *ast.RangeStmt) bool {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	idx, ok := assign.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.Info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	keyObj := rangeKeyObject(pass, rng)
+	if keyObj == nil || !mentionsObject(pass, idx.Index, keyObj) {
+		return false
+	}
+	return !hasCall(assign.Rhs[0])
+}
+
+// isIntAccumulation accepts call-free commutative integer updates:
+// x++, x--, x += e, x |= e, x &= e, x ^= e.
+func isIntAccumulation(pass *Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return !hasCall(s.X) && isIntegerExpr(pass, s.X)
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		default:
+			return false
+		}
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || hasCall(s.Rhs[0]) || hasCall(s.Lhs[0]) {
+			return false
+		}
+		return isIntegerExpr(pass, s.Lhs[0])
+	}
+	return false
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// rangeKeyObject resolves the range key variable (`for k := range m`
+// or `for k, v := range m`).
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasCall(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,89 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGAnalyzer enforces the splittable-substream discipline that keeps
+// parallel sweeps bit-identical: every random stream in a
+// deterministic package must be either a named engine stream
+// (Engine.RNG) or a per-cell substream derived with sim.SubSeed /
+// sim.NewCellRNG. Two violations are flagged:
+//
+//   - importing math/rand (v1 or v2) at all: the repository's RNG is
+//     sim.RNG, and the global source couples every user of it;
+//   - calling sim.NewRNG with anything other than a sim.SubSeed(...)
+//     derivation: ad-hoc seeds (literals, xors of the root seed)
+//     silently couple cells, which is exactly what broke reproducible
+//     sweeps before PR 2.
+//
+// internal/sim itself is exempt: it implements the scheme.
+var RNGAnalyzer = &Analyzer{
+	Name:              "rng",
+	Doc:               "require sim.SubSeed/NewCellRNG substreams for every RNG in deterministic packages",
+	DeterministicOnly: true,
+	Run:               runRNG,
+}
+
+func runRNG(pass *Pass) {
+	if strings.HasSuffix(pass.Path, "internal/sim") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.ReportFix(imp.Pos(), SeverityError, "math-rand-import",
+					&Fix{Description: "use sim.RNG streams: Engine.RNG(name) inside a simulation, sim.NewCellRNG(seed, key) per sweep cell"},
+					"deterministic packages must not import %s; use sim.RNG substreams", p)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkNewRNG(pass, call)
+			return true
+		})
+	}
+}
+
+// checkNewRNG flags sim.NewRNG(arg) unless arg is itself a
+// sim.SubSeed(...) call.
+func checkNewRNG(pass *Pass, call *ast.CallExpr) {
+	if !isSimFunc(pass, call.Fun, "NewRNG") {
+		return
+	}
+	if len(call.Args) == 1 {
+		if inner, ok := call.Args[0].(*ast.CallExpr); ok && isSimFunc(pass, inner.Fun, "SubSeed") {
+			return
+		}
+	}
+	pass.ReportFix(call.Pos(), SeverityWarning, "raw-seed",
+		&Fix{
+			Description: "derive the stream from the root seed and a stable cell key",
+			Replacement: `sim.NewCellRNG(seed, "component:cell-key")`,
+		},
+		"sim.NewRNG with an ad-hoc seed couples this stream to every other user of the seed; derive it via sim.SubSeed/sim.NewCellRNG")
+}
+
+// isSimFunc reports whether e resolves to repro/internal/sim.<name>.
+func isSimFunc(pass *Pass, e ast.Expr, name string) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/sim")
+}

@@ -1,0 +1,29 @@
+// Package directive is a detlint fixture: malformed and stale
+// //detlint directives, which are findings in their own right. The
+// expectations live in the harness (TestDirectiveFixture), not in want
+// comments, because these findings land on the directive lines
+// themselves.
+package directive
+
+//detlint:ordered
+func missingReason(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+//detlint:allow nosuch -- fixture: analyzer name does not exist
+func unknownAnalyzer() {}
+
+//detlint:frobnicate
+func unknownKind() {}
+
+//detlint:allow maprange
+func missingAllowReason() {}
+
+// stale carries a well-formed hatch that suppresses nothing.
+//
+//detlint:allow maprange -- fixture: suppresses nothing
+func stale() {}

@@ -1,0 +1,105 @@
+// Package hotpath is a detlint fixture: allocation idioms inside
+// //detlint:hotpath functions (flagged) next to the allocation-free
+// shapes and unannotated look-alikes (not flagged).
+package hotpath
+
+import "fmt"
+
+//detlint:hotpath
+func badClosure(xs []int) func() int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return func() int { return total } // want "closure captures"
+}
+
+//detlint:hotpath
+func badFmt(n int) {
+	fmt.Println(n) // want "fmt.Println allocates"
+}
+
+//detlint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//detlint:hotpath
+func badPlusEq(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want "allocates on every call"
+	}
+	return s
+}
+
+type sink interface{ put(v any) }
+
+//detlint:hotpath
+func badBoxing(s sink, v int) {
+	s.put(v) // want "value boxed into"
+}
+
+//detlint:hotpath
+func badAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append grows out"
+	}
+	return out
+}
+
+// notHot is a false-positive guard: same shapes, no annotation, so the
+// analyzer must not look inside.
+func notHot(a, b string) string {
+	return a + b + fmt.Sprint(len(a))
+}
+
+//detlint:hotpath
+func goodPanic(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+	return i
+}
+
+//detlint:hotpath
+func goodPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//detlint:hotpath
+func goodStaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+//detlint:hotpath
+func goodPointerShaped(s sink, v *int) {
+	s.put(v)
+}
+
+//detlint:hotpath
+func goodSpread(s sink, vs []any) {
+	put2(s, vs...)
+}
+
+func put2(s sink, vs ...any) {
+	for _, v := range vs {
+		s.put(v)
+	}
+}
+
+//detlint:hotpath
+func goodConstConcat() string {
+	const prefix = "bench:"
+	return prefix + "p2p"
+}
+
+//detlint:hotpath
+func goodAppendParam(out []int, x int) []int {
+	return append(out, x)
+}

@@ -1,0 +1,87 @@
+// Package maprange is a detlint fixture: map iterations whose order
+// can escape (flagged) next to the three provably order-insensitive
+// idioms and the //detlint:ordered escape hatch (not flagged).
+package maprange
+
+import "sort"
+
+// bad leaks map order: the collected slice is returned unsorted.
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "nondeterministic iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// badFloat guards the accumulation proof's soundness: float addition is
+// order-sensitive, so += on floats is NOT accepted.
+func badFloat(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "nondeterministic iteration order"
+		total += v
+	}
+	return total
+}
+
+// badCallAccum guards the accumulation proof against side effects: the
+// right-hand side calls a function, which could observe visit order.
+func badCallAccum(m map[string]int, f func(int) int) int {
+	total := 0
+	for _, v := range m { // want "nondeterministic iteration order"
+		total += f(v)
+	}
+	return total
+}
+
+// goodCollectSort is the collect-then-sort idiom: slice order is
+// unspecified until the sort runs.
+func goodCollectSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodCollectSortGuarded is the same idiom under a call-free filter.
+func goodCollectSortGuarded(m, other map[string]int) []string {
+	var out []string
+	for k := range m {
+		if _, ok := other[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodPerKey writes through the range key: a commutative keyed store.
+func goodPerKey(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// goodAccum is a call-free integer fold: commutative and associative.
+func goodAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type conn struct{ open bool }
+
+func (c *conn) close() { c.open = false }
+
+// goodHatch is not provable mechanically (the body calls a method), so
+// it carries a justified ordered hatch.
+func goodHatch(m map[string]*conn) {
+	//detlint:ordered -- fixture: close is idempotent and connections are independent
+	for _, c := range m {
+		c.close()
+	}
+}

@@ -1,0 +1,29 @@
+// Package rng is a detlint fixture: ad-hoc RNG construction (flagged)
+// next to the sanctioned sim.SubSeed/NewCellRNG substream derivations
+// (not flagged).
+package rng
+
+import (
+	"math/rand" // want "must not import math/rand"
+
+	"repro/internal/sim"
+)
+
+func bad(seed uint64) float64 {
+	r := sim.NewRNG(seed ^ 0x5eed) // want "ad-hoc seed"
+	return r.Float64() + rand.Float64()
+}
+
+func badLiteral() *sim.RNG {
+	return sim.NewRNG(12345) // want "ad-hoc seed"
+}
+
+// good derives a substream with an explicit SubSeed call.
+func good(seed uint64) *sim.RNG {
+	return sim.NewRNG(sim.SubSeed(seed, "fixture:cell"))
+}
+
+// goodCell uses the one-step helper.
+func goodCell(seed uint64) *sim.RNG {
+	return sim.NewCellRNG(seed, "fixture:cell")
+}

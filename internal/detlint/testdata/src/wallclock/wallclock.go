@@ -1,0 +1,62 @@
+// Package wallclock is a detlint fixture: nondeterministic input
+// sources that the wallclock analyzer must flag, next to look-alike
+// shapes it must leave alone.
+package wallclock
+
+import (
+	"os"
+	"time"
+)
+
+func bad() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	host, _ := os.Hostname() // want "os.Hostname reads the host identity"
+	_ = host
+	env := os.Getenv("HOME") // want "os.Getenv reads the process environment"
+	_ = env
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func badSelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// clock is a false-positive guard: a local method named Now resolves to
+// the receiver, not to package time, and must not be flagged.
+type clock struct{ t int64 }
+
+func (c clock) Now() int64 { return c.t }
+
+func goodLocalNow() int64 {
+	var c clock
+	return c.Now()
+}
+
+// goodSelect is a false-positive guard: one communication case plus
+// default never resolves pseudo-randomly.
+func goodSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return -1
+	}
+}
+
+// goodAllowed is a false-positive guard for the escape hatch: the
+// justified allow on the line above suppresses the finding.
+func goodAllowed() time.Time {
+	//detlint:allow wallclock -- fixture: deliberate wall-clock read
+	return time.Now()
+}
+
+// goodAllowedSameLine exercises the trailing-comment hatch position.
+func goodAllowedSameLine() time.Time {
+	t := time.Now() //detlint:allow wallclock -- fixture: same-line hatch
+	return t
+}

@@ -1,0 +1,10 @@
+// Package warnonly is a detlint fixture producing only
+// warning-severity findings: cmd/detlint uses it to pin the exit-code
+// contract (warnings pass by default, fail under -werror).
+package warnonly
+
+import "repro/internal/sim"
+
+func stream() *sim.RNG {
+	return sim.NewRNG(424242) // want "ad-hoc seed"
+}

@@ -1,0 +1,125 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallclockAnalyzer flags nondeterministic input sources in
+// deterministic packages: wall-clock reads, global math/rand draws,
+// environment lookups and multi-way selects. Any of these makes a
+// simulation result depend on when, where or under what scheduler the
+// run happened — exactly what the bit-identical contract forbids.
+// Simulated time must come from the engine clock (sim.Time) and
+// randomness from named engine streams or sim.SubSeed substreams.
+var WallclockAnalyzer = &Analyzer{
+	Name:              "wallclock",
+	Doc:               "forbid wall-clock, environment and global-RNG reads in deterministic packages",
+	DeterministicOnly: true,
+	Run:               runWallclock,
+}
+
+// deniedSources maps package path -> identifier -> the reason it is
+// nondeterministic. Covers functions and variables (crypto/rand.Reader).
+var deniedSources = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Sleep":     "blocks on the wall clock",
+		"After":     "schedules on the wall clock",
+		"AfterFunc": "schedules on the wall clock",
+		"Tick":      "schedules on the wall clock",
+		"NewTicker": "schedules on the wall clock",
+		"NewTimer":  "schedules on the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+		"Hostname":  "reads the host identity",
+		"Getpid":    "reads the process identity",
+	},
+	"crypto/rand": {
+		"Read":   "draws from the OS entropy pool",
+		"Reader": "draws from the OS entropy pool",
+		"Int":    "draws from the OS entropy pool",
+		"Prime":  "draws from the OS entropy pool",
+	},
+}
+
+func runWallclock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkDeniedUse(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDeniedUse flags identifier uses that resolve to a denied
+// package-level function or variable. Resolution is by types.Object,
+// so a local method or field that happens to be called Now is never a
+// false positive.
+func checkDeniedUse(pass *Pass, id *ast.Ident) {
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	pkgPath := obj.Pkg().Path()
+	// Every package-level draw from the global math/rand source is
+	// nondeterministic (and rand.Seed is a global mutation racing other
+	// cells); the rng analyzer separately flags the import itself.
+	if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+		if isPackageLevel(obj) {
+			pass.ReportFix(id.Pos(), SeverityError, "global-rand",
+				&Fix{Description: "draw from a named engine stream (Engine.RNG) or a sim.SubSeed substream instead"},
+				"%s.%s draws from the process-global RNG; use a sim.RNG substream", pkgPath, obj.Name())
+		}
+		return
+	}
+	denied := deniedSources[pkgPath]
+	if denied == nil {
+		return
+	}
+	reason, ok := denied[obj.Name()]
+	if !ok || !isPackageLevel(obj) {
+		return
+	}
+	fix := &Fix{Description: "derive the value from the engine clock (sim.Time) or the experiment spec instead"}
+	pass.ReportFix(id.Pos(), SeverityError, "wallclock",
+		fix, "%s.%s %s; deterministic packages must not observe it", pkgPath, obj.Name(), reason)
+}
+
+// isPackageLevel reports whether obj is a package-scoped func or var
+// (method values and struct fields are fine: they resolve against a
+// local receiver, not ambient process state).
+func isPackageLevel(obj types.Object) bool {
+	switch obj.(type) {
+	case *types.Func, *types.Var:
+		return obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}
+
+// checkSelect flags selects with two or more ready-checked
+// communication cases: when several are ready the runtime picks
+// pseudo-randomly, which is a scheduler-visible nondeterminism source.
+// A single comm case (with or without default) is fine.
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), SeverityError, "select",
+			"select with %d communication cases resolves ready channels pseudo-randomly; deterministic code must use a single case or an explicit priority chain", comm)
+	}
+}

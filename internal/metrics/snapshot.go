@@ -62,6 +62,7 @@ func (r *Registry) SnapshotAll() Snapshot { return r.snapshot(true) }
 
 func (r *Registry) snapshot(includeVolatile bool) Snapshot {
 	var s Snapshot
+	//detlint:ordered -- every appended point is sorted by s.sort() before the snapshot is returned
 	for _, e := range r.entries {
 		if e.volatile && !includeVolatile {
 			continue
@@ -219,6 +220,7 @@ func (a *Aggregate) Snapshot() Snapshot {
 	for _, p := range a.gauges {
 		s.Gauges = append(s.Gauges, *p)
 	}
+	//detlint:ordered -- the appended copies are sorted by s.sort() below; per-iteration state is confined to hp
 	for _, p := range a.hists {
 		hp := *p
 		hp.Bounds = append([]int64(nil), p.Bounds...)

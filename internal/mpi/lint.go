@@ -198,7 +198,20 @@ func userEnvelopes(rs *rankState) []*envelope {
 // messages never received are resource leaks MPI_Finalize would have
 // hidden.
 func (l *Linter) finalize(w *World) {
+	// Collect and sort before recording: iterating the map directly made
+	// the raw findings order (everything before the Findings() sort,
+	// i.e. Count and any future streaming consumer) depend on map order.
+	leaked := make([]*Request, 0, len(l.outstanding))
 	for r := range l.outstanding {
+		leaked = append(leaked, r)
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		if leaked[i].c.rank != leaked[j].c.rank {
+			return leaked[i].c.rank < leaked[j].c.rank
+		}
+		return leaked[i].BlockReason() < leaked[j].BlockReason()
+	})
+	for _, r := range leaked {
 		rank := r.c.rank
 		switch {
 		case !r.done && !r.isSend:

@@ -126,6 +126,8 @@ func (w *World) releasePacket(pkt *packet) {
 
 // arrive delivers a packet to the connection, releasing any consecutive
 // run of packets that is now in order.
+//
+//detlint:hotpath
 func (w *World) arrive(key connKey, pkt *packet) {
 	conn := w.conns[key]
 	if pkt.seq != conn.nextSeq {

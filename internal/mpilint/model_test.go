@@ -165,7 +165,7 @@ func TestFindingsCarryPositions(t *testing.T) {
 	if len(fs) != 1 {
 		t.Fatalf("findings = \n%s", dump(fs))
 	}
-	if want := "rank_oob.pvm:2"; !strings.Contains(fs[0].Pos, want) {
+	if want := "rank_oob.pvm:3"; !strings.Contains(fs[0].Pos, want) {
 		t.Errorf("pos = %q, want prefix %q", fs[0].Pos, want)
 	}
 }

@@ -343,6 +343,8 @@ func (t *xfer) memDeliverNow() {
 // attempt runs one end-to-end transmission try. A drop at the backplane
 // or the destination port triggers a TCP-like retransmission timeout and
 // a full retry from the source, exactly as a lost segment would.
+//
+//detlint:hotpath
 func (t *xfer) attempt() {
 	n := t.n
 	cfg := &n.cfg
@@ -384,6 +386,8 @@ func (t *xfer) attempt() {
 // enterFabric starts the ingress switch fabric traversal. The 510T's
 // 2.1 Gbit/s fabric is shared by all 24 ports, so a busy switch congests
 // internally even before the backplane is involved.
+//
+//detlint:hotpath
 func (t *xfer) enterFabric() {
 	if t.n.traverseStage(t.n.fabrics[t.srcSwitch], -1, t.payload, true, t.stageNext) {
 		t.n.retry(t)
@@ -395,6 +399,8 @@ func (t *xfer) enterFabric() {
 // then (cross-switch only) each stacking segment in travel order — the
 // chain whose saturation produces the paper's Figure 4 tails — then the
 // egress fabric, then the destination port.
+//
+//detlint:hotpath
 func (t *xfer) advance() {
 	n := t.n
 	switch t.stage {
@@ -433,6 +439,8 @@ func (t *xfer) advance() {
 
 // afterFabric is the destination port: the last hop from the egress
 // switch into the receiving host's NIC.
+//
+//detlint:hotpath
 func (t *xfer) afterFabric() {
 	n := t.n
 	cfg := &n.cfg
@@ -462,6 +470,7 @@ func (t *xfer) afterFabric() {
 	n.nicRx[t.dstNode].Enqueue(rxService, t.deliverFn)
 }
 
+//detlint:hotpath
 func (t *xfer) deliver(_, end sim.Time) {
 	if t.crossSwitch {
 		t.n.counters.CrossSwitch++
@@ -476,6 +485,8 @@ func (t *xfer) deliver(_, end sim.Time) {
 }
 
 // reattempt runs when the retransmission timeout expires.
+//
+//detlint:hotpath
 func (t *xfer) reattempt() {
 	t.try++
 	t.attempt()
@@ -548,6 +559,8 @@ func (n *Network) dropped(backlog sim.Duration, threshold float64) bool {
 // retry schedules a retransmission after the TCP timeout, with
 // exponential backoff capped to keep simulated time bounded under
 // pathological saturation.
+//
+//detlint:hotpath
 func (n *Network) retry(t *xfer) {
 	n.counters.Retries++
 	n.mRetries.Inc()

@@ -65,6 +65,7 @@ func NewCollectiveDB(base PerfDB, set *mpibench.Set) (*CollectiveDB, error) {
 	if len(db.grids) == 0 {
 		return nil, fmt.Errorf("pevpm: result set contains no collective measurements")
 	}
+	//detlint:ordered -- each iteration sorts and freezes only its own key's grid; no cross-key state
 	for op := range db.grids {
 		grid := db.grids[op]
 		sort.Slice(grid, func(i, j int) bool { return grid[i].procs < grid[j].procs })

@@ -150,6 +150,8 @@ func (e *Engine) RNG(name string) *RNG {
 const eventChunk = 64
 
 // alloc returns an event struct, reusing a recycled one when available.
+//
+//detlint:hotpath
 func (e *Engine) alloc() *event {
 	if n := len(e.free) - 1; n >= 0 {
 		ev := e.free[n]
@@ -170,6 +172,8 @@ func (e *Engine) alloc() *event {
 // recycle retires an event struct to the free list. Bumping the
 // generation invalidates every handle to the life that just ended, and
 // dropping fn releases the callback's closure to the collector.
+//
+//detlint:hotpath
 func (e *Engine) recycle(ev *event) {
 	e.mRecycled.Inc()
 	ev.fn = nil
@@ -178,6 +182,8 @@ func (e *Engine) recycle(ev *event) {
 }
 
 // Schedule runs fn after delay (>= 0) of virtual time.
+//
+//detlint:hotpath
 func (e *Engine) Schedule(delay Duration, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -186,6 +192,8 @@ func (e *Engine) Schedule(delay Duration, fn func()) EventHandle {
 }
 
 // At runs fn at absolute virtual time t, which must not be in the past.
+//
+//detlint:hotpath
 func (e *Engine) At(t Time, fn func()) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
@@ -264,6 +272,8 @@ func eventLess(a, b *event) bool {
 }
 
 // heapPush inserts ev into the four-ary heap.
+//
+//detlint:hotpath
 func (e *Engine) heapPush(ev *event) {
 	ev.index = int32(len(e.events))
 	e.events = append(e.events, ev)
@@ -271,6 +281,8 @@ func (e *Engine) heapPush(ev *event) {
 }
 
 // heapPop removes and returns the earliest event.
+//
+//detlint:hotpath
 func (e *Engine) heapPop() *event {
 	h := e.events
 	ev := h[0]
@@ -289,6 +301,8 @@ func (e *Engine) heapPop() *event {
 
 // heapRemove deletes the event at heap position i (Cancel's eager
 // removal path).
+//
+//detlint:hotpath
 func (e *Engine) heapRemove(i int) {
 	h := e.events
 	ev := h[i]
@@ -307,6 +321,7 @@ func (e *Engine) heapRemove(i int) {
 	ev.index = -1
 }
 
+//detlint:hotpath
 func (e *Engine) siftUp(i int) {
 	h := e.events
 	ev := h[i]
@@ -324,6 +339,7 @@ func (e *Engine) siftUp(i int) {
 	ev.index = int32(i)
 }
 
+//detlint:hotpath
 func (e *Engine) siftDown(i int) {
 	h := e.events
 	n := len(h)

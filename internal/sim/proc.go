@@ -212,6 +212,7 @@ func (p *Proc) checkCurrent(op string) {
 // safe to call after a completed run (a no-op then) but must not be
 // called while Run is executing, and the engine must not be Run again.
 func (e *Engine) Shutdown() {
+	//detlint:ordered -- teardown after the run: every non-done proc is killed and the engine is never run again, so kill order is unobservable
 	for p := range e.procs {
 		// Every non-done process is parked on <-p.resume: sleeping and
 		// blocked ones between park/wake, ready ones either at their

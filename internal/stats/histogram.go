@@ -73,6 +73,7 @@ func (h *Histogram) Merge(o *Histogram) {
 			h.bins[idx] += c
 		}
 	} else {
+		//detlint:ordered -- commutative uint64 sums into bins; binIndex is a pure function of the bin midpoint
 		for idx, c := range o.bins {
 			mid := (float64(idx) + 0.5) * o.binWidth
 			h.bins[h.binIndex(mid)] += c
@@ -179,6 +180,8 @@ func (h *Histogram) Mode() float64 {
 
 // Quantile returns the value below which fraction q of the mass lies,
 // interpolating linearly within the containing bin. q is clamped to [0,1].
+//
+//detlint:hotpath
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.sum.N == 0 {
 		return 0
@@ -246,6 +249,8 @@ func (h *Histogram) CDF(x float64) float64 {
 // probability proportional to its count, then a point is drawn uniformly
 // within the bin. The intra-bin jitter keeps PEVPM's Monte-Carlo draws
 // continuous rather than quantised to bin midpoints.
+//
+//detlint:hotpath
 func (h *Histogram) Sample(r Rand) float64 {
 	if h.sum.N == 0 {
 		panic("stats: sampling from empty histogram")
