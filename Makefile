@@ -44,13 +44,17 @@ coverage:
 	./scripts/coverage_gate.sh
 
 # bench regenerates the benchmark ledger: every figure at reduced
-# density, with figure metrics and calibration-normalised wall times.
+# density, replicated across 3 independent sub-seeds, stored as
+# per-metric 95% confidence-interval cells (schema 2).
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH.json
 
-# bench-check gates on the committed baseline: >15% normalised
-# wall-clock regression or >5% drift of a deterministic figure metric
-# fails. Refresh the baseline with `make bench-baseline` (see docs/CI.md).
+# bench-check gates on the committed baseline with the CI-overlap test:
+# a figure metric fails when its interval and the baseline's are
+# disjoint; a calibration-normalised wall metric fails only when the
+# current interval lies entirely above the baseline's (a slowdown
+# bigger than both runs' noise). Refresh the baseline with
+# `make bench-baseline`; see docs/BENCHMARKING.md and docs/CI.md.
 bench-check: bench
 	$(GO) run ./cmd/benchjson -check -current BENCH.json -baseline BENCH_baseline.json
 
@@ -74,6 +78,14 @@ determinism:
 	diff /tmp/repro-metrics-serial.json /tmp/repro-metrics-parallel.json
 	diff /tmp/repro-metrics-serial.json cmd/repro/testdata/golden_metrics_seed1.json
 	@echo "determinism: serial and parallel outputs and metrics are byte-identical and match the golden files"
+	$(GO) run ./cmd/mpibench -op MPI_Isend -config 2x1,4x1 -sizes 1024 -reps 40 -warmup 10 \
+		-adapt-relwidth 0.03 -adapt-max-batches 3 -parallel 1 -seed 1 -summary=false \
+		-out /tmp/mpibench-adaptive-serial.json > /dev/null
+	$(GO) run ./cmd/mpibench -op MPI_Isend -config 2x1,4x1 -sizes 1024 -reps 40 -warmup 10 \
+		-adapt-relwidth 0.03 -adapt-max-batches 3 -parallel 8 -seed 1 -summary=false \
+		-out /tmp/mpibench-adaptive-parallel.json > /dev/null
+	diff /tmp/mpibench-adaptive-serial.json /tmp/mpibench-adaptive-parallel.json
+	@echo "determinism: adaptive-stopping runs (stopping decisions, CIs, manifests) are byte-identical serial vs parallel"
 
 # profile captures CPU and allocation pprof profiles of the quick repro
 # sweep into profiles/ (gitignored). Inspect with

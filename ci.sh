@@ -14,13 +14,19 @@
 #   5. the determinism diff: cmd/repro run twice with the same seed,
 #      serial (-parallel=1) and at the default worker count — any byte
 #      of divergence in the figures or the -metrics snapshot fails,
-#      and both must match their committed golden files
+#      and both must match their committed golden files; the same
+#      serial-vs-parallel diff covers an adaptive-stopping mpibench run
+#      (stopping decisions, confidence intervals and manifests included)
 #   6. the fault-injection gates: one scenario preset smoke-run through
 #      the CLI, then the serial-vs-parallel determinism diff of the
 #      full perturbed sweep (figures and metrics)
 #   7. the pprof smoke: `make profile` must produce non-empty CPU and
 #      allocation profiles (tooling stays usable; timing not gated)
-#   8. the benchmark-regression gate against BENCH_baseline.json
+#   8. the benchmark CI-overlap gate against BENCH_baseline.json:
+#      metrics are replicated interval cells, and a metric fails only
+#      when its interval and the baseline's are disjoint (wall metrics:
+#      disjoint in the regression direction, after calibration
+#      normalisation) — see docs/BENCHMARKING.md
 #   9. the coverage gate against scripts/coverage_floor.txt
 set -eux
 

@@ -1,25 +1,40 @@
 // Command benchjson runs a reduced-density version of every figure
-// experiment and writes the headline metrics to a JSON file — the
-// repository's benchmark ledger. A second mode compares two such files
-// and fails on regression, which is the `make bench-check` CI gate.
+// experiment — replicated across independent seeds — and writes
+// per-metric interval summaries to a JSON file, the repository's
+// benchmark ledger. A second mode compares two such files with a
+// confidence-interval overlap test and fails on regression, which is
+// the `make bench-check` CI gate.
 //
 // Usage:
 //
-//	benchjson -out BENCH.json [-seed S] [-parallel W]
-//	benchjson -check -current BENCH.json -baseline BENCH_baseline.json [-tol 0.15] [-dtol 0.05]
+//	benchjson -out BENCH.json [-seed S] [-reps 3] [-parallel W]
+//	benchjson -check -current BENCH.json -baseline BENCH_baseline.json
+//	benchjson -check -legacy-tol [-tol 0.15] [-dtol 0.05] ...   (deprecated)
 //
-// Two metric classes live in the file:
+// Schema 2 stores each metric as a cell: the mean across -reps
+// replications (each a full figure run on its own sub-seeded RNG
+// universe), a 95% Student-t confidence interval, and the observed
+// min/max. Two metric classes live in the file:
 //
 //   - Figure metrics (everything not ending in _wall_s) are
 //     seed-deterministic model outputs — the quantities EXPERIMENTS.md
-//     compares against the paper. They drift only when the simulation
-//     itself changes, so -check holds them to the tight -dtol bound.
+//     compares against the paper. Replication across seeds turns their
+//     seed sensitivity into an honest interval; -check fails only when
+//     the current and baseline intervals are disjoint, i.e. the change
+//     is larger than both measurements' noise.
 //   - Wall-clock metrics (*_wall_s) measure how long each figure took.
 //     Before comparing, -check divides them by the run's own
 //     calibration_wall_s — a fixed pure-arithmetic spin measured in the
-//     same process — so a slower CI machine cancels out and only a
-//     slowdown of the simulator itself trips the -tol (default 15%)
-//     regression bound. Speedups never fail.
+//     same process — so a slower CI machine cancels out. They fail only
+//     in the regression direction: the current interval lying entirely
+//     above the baseline's. Speedups never fail.
+//
+// When GITHUB_STEP_SUMMARY is set, -check appends a markdown verdict
+// table (metric, baseline interval, current interval, verdict) to it.
+//
+// The -legacy-tol flag restores the old fixed percentage bands
+// (-tol/-dtol) on cell means. It exists as an escape hatch while
+// baselines migrate and will be removed; it warns on stderr.
 package main
 
 import (
@@ -35,13 +50,54 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/mpibench"
+	"repro/internal/sim"
+	"repro/internal/stats"
 )
+
+// Schema is the ledger layout version this benchjson reads and writes.
+// Version 1 stored bare float64 metrics; version 2 stores interval
+// cells. -check refuses mismatched files rather than guessing.
+const Schema = 2
+
+// ciLevel is the confidence level of every stored interval.
+const ciLevel = 0.95
+
+// Cell is one metric's interval summary across the replications.
+type Cell struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Lo   float64 `json:"lo"` // 95% Student-t bounds on the mean
+	Hi   float64 `json:"hi"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// interval adapts a cell (optionally normalised by cal) to the stats
+// interval the overlap test runs on.
+func (c Cell) interval(cal float64) stats.Interval {
+	return stats.Interval{
+		Point: c.Mean / cal, Lo: c.Lo / cal, Hi: c.Hi / cal,
+		Level: ciLevel, N: uint64(c.N),
+	}
+}
+
+func (c Cell) finite() bool {
+	return finite(c.Mean) && finite(c.Lo) && finite(c.Hi) && finite(c.Min) && finite(c.Max)
+}
 
 // File is the on-disk schema of BENCH.json.
 type File struct {
-	Schema  int                `json:"schema"`
-	Go      string             `json:"go"`
-	Metrics map[string]float64 `json:"metrics"`
+	Schema int    `json:"schema"`
+	Go     string `json:"go"`
+	Seed   uint64 `json:"seed"`
+	Reps   int    `json:"reps"`
+
+	// Calibration is the wall time of a fixed pure-arithmetic spin
+	// measured once per file; wall cells are compared as multiples of
+	// it so machine speed divides out of the regression check.
+	Calibration float64 `json:"calibration_wall_s"`
+
+	Metrics map[string]Cell `json:"metrics"`
 }
 
 func main() {
@@ -51,20 +107,22 @@ func main() {
 func run(argv []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "BENCH.json", "file to write metrics to")
-	seed := fs.Uint64("seed", 1, "simulation seed")
+	seed := fs.Uint64("seed", 1, "root simulation seed (replications sub-seed from it)")
+	reps := fs.Int("reps", 3, "independent replications per metric (min 2)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	check := fs.Bool("check", false, "compare -current against -baseline instead of running")
 	current := fs.String("current", "BENCH.json", "current metrics file for -check")
 	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline metrics file for -check")
-	tol := fs.Float64("tol", 0.15, "allowed relative wall-clock regression")
-	dtol := fs.Float64("dtol", 0.05, "allowed relative drift of deterministic figure metrics")
+	legacy := fs.Bool("legacy-tol", false, "DEPRECATED: use fixed -tol/-dtol bands on means instead of CI overlap")
+	tol := fs.Float64("tol", 0.15, "allowed relative wall-clock regression (only with -legacy-tol)")
+	dtol := fs.Float64("dtol", 0.05, "allowed relative drift of figure metrics (only with -legacy-tol)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if *check {
-		return runCheck(*current, *baseline, *tol, *dtol)
+		return runCheck(*current, *baseline, *legacy, *tol, *dtol)
 	}
-	f, err := measure(*seed, *parallel)
+	f, err := measure(*seed, *reps, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
@@ -73,7 +131,8 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
 	}
-	fmt.Printf("benchjson: wrote %d metrics to %s\n", len(f.Metrics), *out)
+	fmt.Printf("benchjson: wrote %d metrics (%d replications each) to %s\n",
+		len(f.Metrics), f.Reps, *out)
 	return 0
 }
 
@@ -110,10 +169,69 @@ func calibrate() float64 {
 	return time.Since(start).Seconds()
 }
 
-func measure(seed uint64, workers int) (*File, error) {
+// measure runs the full metric suite reps times, each replication on an
+// independent sub-seeded RNG universe, and folds the results into
+// interval cells.
+func measure(seed uint64, reps, workers int) (*File, error) {
+	if reps < 2 {
+		reps = 2 // one observation has no interval
+	}
+	series := map[string][]float64{}
+	for rep := 0; rep < reps; rep++ {
+		repSeed := sim.SubSeed(seed, fmt.Sprintf("bench:rep%d", rep))
+		m, err := measureOnce(repSeed, workers)
+		if err != nil {
+			return nil, fmt.Errorf("replication %d: %w", rep, err)
+		}
+		if name, v, bad := firstNonFinite(m); bad {
+			return nil, fmt.Errorf("replication %d: metric %s is %v", rep, name, v)
+		}
+		var names []string
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			series[name] = append(series[name], m[name])
+		}
+	}
+
+	f := &File{
+		Schema:      Schema,
+		Go:          runtime.Version(),
+		Seed:        seed,
+		Reps:        reps,
+		Calibration: calibrate(),
+		Metrics:     make(map[string]Cell, len(series)),
+	}
+	var names []string
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		xs := series[name]
+		if len(xs) != reps {
+			return nil, fmt.Errorf("metric %s present in %d of %d replications", name, len(xs), reps)
+		}
+		var sum stats.Summary
+		for _, x := range xs {
+			sum.Add(x)
+		}
+		iv := stats.StudentCI(sum, ciLevel)
+		f.Metrics[name] = Cell{
+			N: reps, Mean: sum.Mean, Lo: iv.Lo, Hi: iv.Hi, Min: sum.Min, Max: sum.Max,
+		}
+	}
+	return f, nil
+}
+
+// measureOnce runs every figure experiment once and returns the flat
+// metric map for this replication (figure metrics plus wall timings).
+func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 	cfg := cluster.Perseus()
 	p := benchParams(seed, workers)
-	m := map[string]float64{"calibration_wall_s": calibrate()}
+	m := map[string]float64{}
 
 	timed := func(name string, f func() error) error {
 		//detlint:allow wallclock -- *_wall_s metrics are deliberate wall timings, normalised by calibrate() before comparison
@@ -238,10 +356,7 @@ func measure(seed uint64, workers int) (*File, error) {
 		return nil, err
 	}
 
-	if name, v, bad := firstNonFinite(m); bad {
-		return nil, fmt.Errorf("metric %s is %v", name, v)
-	}
-	return &File{Schema: 1, Go: runtime.Version(), Metrics: m}, nil
+	return m, nil
 }
 
 // firstNonFinite scans in sorted order so the metric named in the
@@ -269,10 +384,24 @@ func writeFile(path string, f *File) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// readFile loads a ledger and refuses any schema other than the one
+// this binary writes. A v1 file (bare float metrics) or a future v3
+// must be regenerated, not reinterpreted: the gate's semantics live in
+// the schema.
 func readFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	var probe struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %d, but this benchjson speaks schema %d — regenerate the file (make bench-baseline for the baseline)",
+			path, probe.Schema, Schema)
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -298,93 +427,239 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // seconds, so anything under a microsecond is a measurement failure.
 func usableCalibration(v float64) bool { return finite(v) && v >= 1e-6 }
 
-func runCheck(currentPath, baselinePath string, tol, dtol float64) int {
+// verdictRow is one line of the comparison report and of the CI
+// step-summary table.
+type verdictRow struct {
+	name     string
+	baseline string // formatted baseline interval
+	current  string // formatted current interval
+	verdict  string // "ok" or a failure description
+	failed   bool
+}
+
+func runCheck(currentPath, baselinePath string, legacy bool, tol, dtol float64) int {
 	cur, err := readFile(currentPath)
 	if err == nil {
 		var base *File
 		base, err = readFile(baselinePath)
 		if err == nil {
-			return compare(cur, base, tol, dtol)
+			var code int
+			var rows []verdictRow
+			if legacy {
+				fmt.Fprintln(os.Stderr, "benchjson: -legacy-tol is deprecated; the CI-overlap test is the supported gate and this flag will be removed")
+				code, rows = compareLegacy(cur, base, tol, dtol)
+			} else {
+				code, rows = compare(cur, base)
+			}
+			if err := writeStepSummary(rows, code); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: step summary: %v\n", err)
+			}
+			return code
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 	return 2
 }
 
-func compare(cur, base *File, tol, dtol float64) int {
-	names := make([]string, 0, len(base.Metrics))
+// metricNames returns the union-ordered comparison plan: baseline names
+// sorted, then current-only names sorted — so reports and verdict
+// tables are deterministic.
+func metricNames(cur, base *File) (names []string, newOnly []string) {
 	for name := range base.Metrics {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for name := range cur.Metrics {
+		if _, ok := base.Metrics[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(newOnly)
+	return names, newOnly
+}
 
-	curCal, baseCal := cur.Metrics["calibration_wall_s"], base.Metrics["calibration_wall_s"]
-	if !usableCalibration(curCal) || !usableCalibration(baseCal) {
+func fmtInterval(c Cell, cal float64) string {
+	iv := c.interval(cal)
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", iv.Point, iv.Lo, iv.Hi)
+}
+
+// compare is the CI-overlap gate. Figure metrics fail when the current
+// and baseline intervals are disjoint in either direction; wall metrics
+// (calibration-normalised) fail only when the current interval lies
+// entirely above the baseline's — a slowdown bigger than both runs'
+// noise. Fixed percentage bands appear nowhere: the measurements
+// themselves say how much noise is normal.
+func compare(cur, base *File) (int, []verdictRow) {
+	if !usableCalibration(cur.Calibration) || !usableCalibration(base.Calibration) {
 		fmt.Fprintf(os.Stderr, "benchjson: unusable calibration_wall_s (current %v, baseline %v); refresh both files\n",
-			curCal, baseCal)
-		return 2
+			cur.Calibration, base.Calibration)
+		return 2, nil
 	}
 
+	names, newOnly := metricNames(cur, base)
+	var rows []verdictRow
 	failures := 0
 	for _, name := range names {
 		b := base.Metrics[name]
 		c, ok := cur.Metrics[name]
-		if !ok {
-			fmt.Printf("FAIL %-34s missing from current run (refresh the baseline?)\n", name)
-			failures++
-			continue
-		}
+		row := verdictRow{name: name}
 		switch {
-		case name == "calibration_wall_s":
-			fmt.Printf("ok   %-34s %10.3f vs %10.3f (machine-speed reference)\n", name, c, b)
-		case !finite(c) || !finite(b):
-			// NaN/Inf would sail through every `>` comparison below
-			// (NaN compares false against everything) and pass silently.
-			fmt.Printf("FAIL %-34s non-finite value (current %v, baseline %v)\n", name, c, b)
-			failures++
+		case !ok:
+			row.baseline = fmtInterval(b, 1)
+			row.current = "—"
+			row.verdict, row.failed = "missing from current run (refresh the baseline?)", true
+		case !c.finite() || !b.finite():
+			// NaN/Inf would sail through every comparison below (NaN
+			// compares false against everything) and pass silently.
+			row.baseline = fmtInterval(b, 1)
+			row.current = fmtInterval(c, 1)
+			row.verdict, row.failed = "non-finite value", true
 		case isWall(name):
 			// Normalise by each run's own calibration so only simulator
 			// slowdowns — not slower CI hardware — count as regressions.
-			cn, bn := c/curCal, b/baseCal
-			ratio := cn / bn
-			status := "ok  "
-			if !finite(ratio) || ratio > 1+tol {
-				status = "FAIL"
-				failures++
+			bi, ci := b.interval(base.Calibration), c.interval(cur.Calibration)
+			row.baseline = fmtInterval(b, base.Calibration) + "× cal"
+			row.current = fmtInterval(c, cur.Calibration) + "× cal"
+			if ci.Lo > bi.Hi {
+				row.verdict, row.failed = "slower: intervals disjoint in the regression direction", true
+			} else {
+				row.verdict = "ok"
 			}
-			fmt.Printf("%s %-34s %10.3fx calibration vs %10.3fx (%+.1f%%, limit +%.0f%%)\n",
-				status, name, cn, bn, (ratio-1)*100, tol*100)
 		default:
-			drift := 0.0
-			if c != b {
-				drift = math.Abs(c-b) / math.Abs(b)
+			bi, ci := b.interval(1), c.interval(1)
+			row.baseline = fmtInterval(b, 1)
+			row.current = fmtInterval(c, 1)
+			if !stats.Overlap(bi, ci) {
+				row.verdict, row.failed = "drift: intervals disjoint", true
+			} else {
+				row.verdict = "ok"
 			}
-			status := "ok  "
-			if !finite(drift) || drift > dtol {
-				status = "FAIL"
-				failures++
-			}
-			fmt.Printf("%s %-34s %10.4f vs %10.4f (drift %.2f%%, limit %.0f%%)\n",
-				status, name, c, b, drift*100, dtol*100)
 		}
+		rows = append(rows, row)
 	}
-	// Collect-then-sort: printing inside the map range made the FAIL
-	// line order nondeterministic whenever two or more metrics were new.
-	var missing []string
-	for name := range cur.Metrics {
-		if _, ok := base.Metrics[name]; !ok {
-			missing = append(missing, name)
+	for _, name := range newOnly {
+		rows = append(rows, verdictRow{
+			name:     name,
+			baseline: "—",
+			current:  fmtInterval(cur.Metrics[name], 1),
+			verdict:  "new metric not in baseline (refresh BENCH_baseline.json)",
+			failed:   true,
+		})
+	}
+
+	for _, row := range rows {
+		status := "ok  "
+		if row.failed {
+			status = "FAIL"
+			failures++
 		}
-	}
-	sort.Strings(missing)
-	for _, name := range missing {
-		fmt.Printf("FAIL %-34s new metric not in baseline (refresh BENCH_baseline.json)\n", name)
-		failures++
+		fmt.Printf("%s %-34s %28s vs %28s  %s\n", status, row.name, row.current, row.baseline, row.verdict)
 	}
 	if failures > 0 {
-		fmt.Printf("benchjson: %d metric(s) regressed or drifted — see docs/CI.md for how to refresh the baseline\n", failures)
-		return 1
+		fmt.Printf("benchjson: %d metric(s) outside CI overlap — see docs/BENCHMARKING.md for how to read this and docs/CI.md for how to refresh the baseline\n", failures)
+		return 1, rows
 	}
-	fmt.Printf("benchjson: all %d metrics within bounds\n", len(names))
-	return 0
+	fmt.Printf("benchjson: all %d metrics within CI overlap\n", len(names))
+	return 0, rows
+}
+
+// compareLegacy is the deprecated fixed-band gate, kept behind
+// -legacy-tol for baseline migration: wall means within 1+tol of the
+// baseline (calibration-normalised), figure means within dtol drift.
+func compareLegacy(cur, base *File, tol, dtol float64) (int, []verdictRow) {
+	if !usableCalibration(cur.Calibration) || !usableCalibration(base.Calibration) {
+		fmt.Fprintf(os.Stderr, "benchjson: unusable calibration_wall_s (current %v, baseline %v); refresh both files\n",
+			cur.Calibration, base.Calibration)
+		return 2, nil
+	}
+	names, newOnly := metricNames(cur, base)
+	var rows []verdictRow
+	failures := 0
+	for _, name := range names {
+		b := base.Metrics[name]
+		c, ok := cur.Metrics[name]
+		row := verdictRow{name: name, baseline: fmt.Sprintf("%.4g", b.Mean)}
+		switch {
+		case !ok:
+			row.current = "—"
+			row.verdict, row.failed = "missing from current run", true
+		case !finite(c.Mean) || !finite(b.Mean):
+			row.current = fmt.Sprintf("%v", c.Mean)
+			row.verdict, row.failed = "non-finite value", true
+		case isWall(name):
+			cn, bn := c.Mean/cur.Calibration, b.Mean/base.Calibration
+			ratio := cn / bn
+			row.baseline = fmt.Sprintf("%.3fx cal", bn)
+			row.current = fmt.Sprintf("%.3fx cal", cn)
+			if !finite(ratio) || ratio > 1+tol {
+				row.verdict, row.failed = fmt.Sprintf("%+.1f%% over limit +%.0f%%", (ratio-1)*100, tol*100), true
+			} else {
+				row.verdict = "ok"
+			}
+		default:
+			drift := 0.0
+			if c.Mean != b.Mean {
+				drift = math.Abs(c.Mean-b.Mean) / math.Abs(b.Mean)
+			}
+			row.current = fmt.Sprintf("%.4g", c.Mean)
+			if !finite(drift) || drift > dtol {
+				row.verdict, row.failed = fmt.Sprintf("drift %.2f%% over limit %.0f%%", drift*100, dtol*100), true
+			} else {
+				row.verdict = "ok"
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, name := range newOnly {
+		rows = append(rows, verdictRow{
+			name: name, baseline: "—", current: fmt.Sprintf("%.4g", cur.Metrics[name].Mean),
+			verdict: "new metric not in baseline", failed: true,
+		})
+	}
+	for _, row := range rows {
+		status := "ok  "
+		if row.failed {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-34s %20s vs %20s  %s\n", status, row.name, row.current, row.baseline, row.verdict)
+	}
+	if failures > 0 {
+		fmt.Printf("benchjson: %d metric(s) regressed or drifted (legacy bands)\n", failures)
+		return 1, rows
+	}
+	fmt.Printf("benchjson: all %d metrics within legacy bands\n", len(names))
+	return 0, rows
+}
+
+// writeStepSummary appends the verdict table to the file named by
+// GITHUB_STEP_SUMMARY, when set — the markdown GitHub renders on the
+// workflow run page. A no-op outside Actions.
+func writeStepSummary(rows []verdictRow, code int) error {
+	//detlint:allow wallclock -- CI reporting plumbing: the step-summary path comes from the Actions runner, never from simulation code
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" || rows == nil {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	head := "### Benchmark gate: PASS ✅\n\n"
+	if code != 0 {
+		head = "### Benchmark gate: FAIL ❌\n\n"
+	}
+	fmt.Fprint(f, head)
+	fmt.Fprint(f, "| metric | baseline (95% CI) | current (95% CI) | verdict |\n")
+	fmt.Fprint(f, "|---|---|---|---|\n")
+	for _, row := range rows {
+		verdict := "✅ " + row.verdict
+		if row.failed {
+			verdict = "❌ " + row.verdict
+		}
+		fmt.Fprintf(f, "| `%s` | %s | %s | %s |\n", row.name, row.baseline, row.current, verdict)
+	}
+	fmt.Fprint(f, "\nWall metrics are calibration-normalised and fail only in the regression direction; figure metrics fail when intervals are disjoint either way. See docs/BENCHMARKING.md.\n")
+	return f.Close()
 }

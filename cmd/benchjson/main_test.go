@@ -4,68 +4,85 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
 )
 
-func bench(metrics map[string]float64) *File {
-	return &File{Schema: 1, Metrics: metrics}
+// cell builds an interval cell around a mean with symmetric half-width.
+func cell(mean, half float64) Cell {
+	return Cell{N: 3, Mean: mean, Lo: mean - half, Hi: mean + half, Min: mean - half, Max: mean + half}
 }
 
-func TestCompareWithinBounds(t *testing.T) {
-	base := bench(map[string]float64{
-		"calibration_wall_s": 1.0,
-		"fig1_wall_s":        2.0,
-		"fig1_ratio":         1.70,
+func bench(metrics map[string]Cell) *File {
+	return &File{Schema: Schema, Reps: 3, Calibration: 1.0, Metrics: metrics}
+}
+
+func TestCompareOverlappingIntervalsPass(t *testing.T) {
+	base := bench(map[string]Cell{
+		"fig1_wall_s": cell(2.0, 0.2),
+		"fig1_ratio":  cell(1.70, 0.05),
 	})
-	cur := bench(map[string]float64{
-		"calibration_wall_s": 2.0, // machine half as fast...
-		"fig1_wall_s":        4.1, // ...wall scales with it (+2.5% normalised)
-		"fig1_ratio":         1.72,
+	cur := bench(map[string]Cell{
+		"fig1_wall_s": cell(2.1, 0.2),   // overlaps [1.8, 2.2]
+		"fig1_ratio":  cell(1.74, 0.02), // overlaps [1.65, 1.75]
 	})
-	if got := compare(cur, base, 0.15, 0.05); got != 0 {
-		t.Errorf("compare = %d, want 0", got)
+	if got, _ := compare(cur, base); got != 0 {
+		t.Errorf("overlapping intervals: compare = %d, want 0", got)
 	}
 }
 
-func TestCompareWallRegressionFails(t *testing.T) {
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.5})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("25%% wall regression: compare = %d, want 1", got)
+func TestCompareDisjointRegressionFails(t *testing.T) {
+	base := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+	cur := bench(map[string]Cell{"fig1_wall_s": cell(2.5, 0.1)}) // [2.4, 2.6] vs [1.9, 2.1]
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("disjoint wall regression: compare = %d, want 1", got)
 	}
 }
 
-func TestCompareSpeedupPasses(t *testing.T) {
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 0.5})
-	if got := compare(cur, base, 0.15, 0.05); got != 0 {
+func TestCompareWallSpeedupPasses(t *testing.T) {
+	// Disjoint in the IMPROVEMENT direction: current entirely below
+	// baseline. Wall metrics only gate regressions.
+	base := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+	cur := bench(map[string]Cell{"fig1_wall_s": cell(0.5, 0.1)})
+	if got, _ := compare(cur, base); got != 0 {
 		t.Errorf("speedup: compare = %d, want 0", got)
 	}
 }
 
-func TestCompareMetricDriftFails(t *testing.T) {
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.70})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.90})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("12%% drift: compare = %d, want 1", got)
+func TestCompareCalibrationNormalisesWall(t *testing.T) {
+	// Machine half as fast: calibration doubles, wall doubles, the
+	// normalised intervals coincide and the check passes.
+	base := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.2)})
+	cur := bench(map[string]Cell{"fig1_wall_s": cell(4.0, 0.4)})
+	cur.Calibration = 2.0
+	if got, _ := compare(cur, base); got != 0 {
+		t.Errorf("calibration-scaled wall: compare = %d, want 0", got)
+	}
+	// Same wall cells but the calibration says the machine is the same
+	// speed: a genuine 2x simulator slowdown, disjoint, fails.
+	cur.Calibration = 1.0
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("genuine wall regression: compare = %d, want 1", got)
+	}
+}
+
+func TestCompareFigureDriftFailsBothDirections(t *testing.T) {
+	base := bench(map[string]Cell{"fig1_ratio": cell(1.70, 0.02)})
+	for _, mean := range []float64{1.90, 1.50} {
+		cur := bench(map[string]Cell{"fig1_ratio": cell(mean, 0.02)})
+		if got, _ := compare(cur, base); got != 1 {
+			t.Errorf("disjoint figure drift to %v: compare = %d, want 1", mean, got)
+		}
 	}
 }
 
 func TestCompareMissingAndNewMetricsFail(t *testing.T) {
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "gone": 3.0})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "brand_new": 3.0})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("schema mismatch: compare = %d, want 1", got)
-	}
-}
-
-func TestCompareMissingCalibrationIsUsageError(t *testing.T) {
-	base := bench(map[string]float64{"fig1_ratio": 1.70})
-	cur := bench(map[string]float64{"fig1_ratio": 1.70})
-	if got := compare(cur, base, 0.15, 0.05); got != 2 {
-		t.Errorf("no calibration: compare = %d, want 2", got)
+	base := bench(map[string]Cell{"gone": cell(3.0, 0.1)})
+	cur := bench(map[string]Cell{"brand_new": cell(3.0, 0.1)})
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("metric set mismatch: compare = %d, want 1", got)
 	}
 }
 
@@ -80,54 +97,143 @@ func TestCompareBadCalibrationIsUsageError(t *testing.T) {
 		"nan":      math.NaN(),
 		"inf":      math.Inf(1),
 	} {
-		base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
-		cur := bench(map[string]float64{"calibration_wall_s": cal, "fig1_wall_s": 2.0})
-		if got := compare(cur, base, 0.15, 0.05); got != 2 {
+		base := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+		cur := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+		cur.Calibration = cal
+		if got, _ := compare(cur, base); got != 2 {
 			t.Errorf("%s calibration: compare = %d, want 2", name, got)
 		}
 		// The same applies when the baseline is the poisoned file.
-		if got := compare(base, cur, 0.15, 0.05); got != 2 {
+		if got, _ := compare(base, cur); got != 2 {
 			t.Errorf("%s baseline calibration: compare = %d, want 2", name, got)
 		}
 	}
 }
 
-func TestCompareNaNMetricFailsLoudly(t *testing.T) {
+func TestCompareNaNCellFailsLoudly(t *testing.T) {
 	// NaN compares false against every threshold, so without an explicit
-	// guard a NaN metric passes both gates silently.
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": 1.70})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_ratio": math.NaN()})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("NaN figure metric: compare = %d, want 1", got)
+	// guard a NaN cell passes both gates silently.
+	nan := Cell{N: 3, Mean: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	base := bench(map[string]Cell{"fig1_ratio": cell(1.70, 0.02)})
+	cur := bench(map[string]Cell{"fig1_ratio": nan})
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("NaN figure cell: compare = %d, want 1", got)
 	}
-	base = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
-	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.NaN()})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("NaN wall metric: compare = %d, want 1", got)
+	base = bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+	cur = bench(map[string]Cell{"fig1_wall_s": nan})
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("NaN wall cell: compare = %d, want 1", got)
 	}
-	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.Inf(1)})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("Inf wall metric: compare = %d, want 1", got)
+	// A NaN hiding in one bound only must fail too.
+	half := cell(2.0, 0.1)
+	half.Hi = math.Inf(1)
+	cur = bench(map[string]Cell{"fig1_wall_s": half})
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("Inf bound: compare = %d, want 1", got)
 	}
-	// A NaN in the *baseline* must fail too, not just in the current run.
-	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": 2.0})
-	base = bench(map[string]float64{"calibration_wall_s": 1.0, "fig1_wall_s": math.NaN()})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("NaN baseline metric: compare = %d, want 1", got)
+	// And in the baseline, not just the current run.
+	cur = bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.1)})
+	base = bench(map[string]Cell{"fig1_wall_s": nan})
+	if got, _ := compare(cur, base); got != 1 {
+		t.Errorf("NaN baseline cell: compare = %d, want 1", got)
 	}
 }
 
-func TestCompareZeroBaselineMetric(t *testing.T) {
-	// Equal zeros agree exactly (drift 0); a zero baseline against a
-	// different current value must fail rather than divide to Inf/NaN.
-	base := bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.0})
-	cur := bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.0})
-	if got := compare(cur, base, 0.15, 0.05); got != 0 {
-		t.Errorf("equal zeros: compare = %d, want 0", got)
+func TestCompareTouchingIntervalsPass(t *testing.T) {
+	// Sharing exactly one point is overlap: the gate fails only on
+	// strictly disjoint intervals.
+	base := bench(map[string]Cell{"fig1_ratio": cell(1.0, 0.1)}) // [0.9, 1.1]
+	cur := bench(map[string]Cell{"fig1_ratio": cell(1.2, 0.1)})  // [1.1, 1.3]
+	if got, _ := compare(cur, base); got != 0 {
+		t.Errorf("touching intervals: compare = %d, want 0", got)
 	}
-	cur = bench(map[string]float64{"calibration_wall_s": 1.0, "fig_zero": 0.1})
-	if got := compare(cur, base, 0.15, 0.05); got != 1 {
-		t.Errorf("zero baseline, nonzero current: compare = %d, want 1", got)
+}
+
+func TestLegacyBandsStillWork(t *testing.T) {
+	base := bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.0), "fig1_ratio": cell(1.70, 0)})
+	cur := bench(map[string]Cell{"fig1_wall_s": cell(2.1, 0.0), "fig1_ratio": cell(1.72, 0)})
+	if got, _ := compareLegacy(cur, base, 0.15, 0.05); got != 0 {
+		t.Errorf("within legacy bands: compare = %d, want 0", got)
+	}
+	cur = bench(map[string]Cell{"fig1_wall_s": cell(2.5, 0.0), "fig1_ratio": cell(1.72, 0)})
+	if got, _ := compareLegacy(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("25%% wall regression: legacy compare = %d, want 1", got)
+	}
+	cur = bench(map[string]Cell{"fig1_wall_s": cell(2.0, 0.0), "fig1_ratio": cell(1.90, 0)})
+	if got, _ := compareLegacy(cur, base, 0.15, 0.05); got != 1 {
+		t.Errorf("12%% figure drift: legacy compare = %d, want 1", got)
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadFileRejectsSchemaMismatch(t *testing.T) {
+	// A v1 ledger (bare float metrics) must be refused loudly, not
+	// silently reinterpreted as empty intervals.
+	v1 := writeTemp(t, "v1.json", `{"schema":1,"go":"go1.x","metrics":{"fig1_ratio":1.7}}`)
+	if _, err := readFile(v1); err == nil || !strings.Contains(err.Error(), "schema 1") {
+		t.Errorf("v1 file: err = %v, want schema mismatch", err)
+	}
+	v3 := writeTemp(t, "v3.json", `{"schema":3,"metrics":{}}`)
+	if _, err := readFile(v3); err == nil || !strings.Contains(err.Error(), "schema 3") {
+		t.Errorf("v3 file: err = %v, want schema mismatch", err)
+	}
+}
+
+func TestRunCheckSchemaMismatchExitsTwo(t *testing.T) {
+	v1 := writeTemp(t, "old.json", `{"schema":1,"metrics":{"fig1_ratio":1.7}}`)
+	v2 := writeTemp(t, "new.json",
+		`{"schema":2,"reps":3,"calibration_wall_s":1,"metrics":{"fig1_ratio":{"n":3,"mean":1.7,"lo":1.6,"hi":1.8,"min":1.6,"max":1.8}}}`)
+	if got := runCheck(v2, v1, false, 0.15, 0.05); got != 2 {
+		t.Errorf("v1 baseline: runCheck = %d, want 2", got)
+	}
+	if got := runCheck(v1, v2, false, 0.15, 0.05); got != 2 {
+		t.Errorf("v1 current: runCheck = %d, want 2", got)
+	}
+}
+
+func TestStepSummaryTable(t *testing.T) {
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	t.Setenv("GITHUB_STEP_SUMMARY", summary)
+
+	base := bench(map[string]Cell{"fig1_ratio": cell(1.70, 0.02), "fig1_wall_s": cell(2.0, 0.1)})
+	cur := bench(map[string]Cell{"fig1_ratio": cell(1.90, 0.02), "fig1_wall_s": cell(2.05, 0.1)})
+	code, rows := compare(cur, base)
+	if code != 1 {
+		t.Fatalf("compare = %d, want 1", code)
+	}
+	if err := writeStepSummary(rows, code); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"Benchmark gate: FAIL",
+		"| metric | baseline (95% CI) | current (95% CI) | verdict |",
+		"`fig1_ratio`",
+		"`fig1_wall_s`",
+		"intervals disjoint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("step summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStepSummaryUnsetIsNoop(t *testing.T) {
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	if err := writeStepSummary([]verdictRow{{name: "x"}}, 0); err != nil {
+		t.Errorf("unset summary path: %v", err)
 	}
 }
 
@@ -151,20 +257,21 @@ func captureStdout(t *testing.T, f func()) string {
 	return string(data)
 }
 
-// TestCompareNewMetricLinesSorted pins the fix for a nondeterministic
-// report: FAIL lines for metrics missing from the baseline used to be
-// printed straight out of a map range, so two runs over the same pair
-// of files ordered them differently. Several iterations make a relapse
+// TestCompareNewMetricLinesSorted pins a determinism property of the
+// report: FAIL lines for metrics missing from the baseline must print
+// in sorted order, not map order. Several iterations make a relapse
 // into map order overwhelmingly likely to trip the sorted check.
 func TestCompareNewMetricLinesSorted(t *testing.T) {
-	base := bench(map[string]float64{"calibration_wall_s": 1.0})
-	cur := bench(map[string]float64{
-		"calibration_wall_s": 1.0,
-		"new_e":              1, "new_b": 2, "new_d": 3, "new_a": 4, "new_c": 5,
+	base := bench(map[string]Cell{})
+	base.Metrics["anchor"] = cell(1, 0)
+	cur := bench(map[string]Cell{
+		"anchor": cell(1, 0),
+		"new_e":  cell(1, 0), "new_b": cell(2, 0), "new_d": cell(3, 0),
+		"new_a": cell(4, 0), "new_c": cell(5, 0),
 	})
 	for i := 0; i < 16; i++ {
 		out := captureStdout(t, func() {
-			if got := compare(cur, base, 0.15, 0.05); got != 1 {
+			if got, _ := compare(cur, base); got != 1 {
 				t.Errorf("compare = %d, want 1", got)
 			}
 		})

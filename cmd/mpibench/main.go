@@ -9,6 +9,13 @@
 // Multiple -config values (comma-separated) produce a result set that
 // cmd/pevpm can use as its performance database. With -summary the
 // per-size statistics print to stdout as well.
+//
+// -estimates attaches confidence intervals and robust estimators to
+// every size; -adapt-relwidth enables adaptive stopping (batches of
+// repetitions until the CI on the chosen quantile is narrower than the
+// target relative width — see docs/BENCHMARKING.md). -parallel spreads
+// the placements over worker goroutines; results are bit-identical at
+// any worker count.
 package main
 
 import (
@@ -36,6 +43,13 @@ func main() {
 	perfect := flag.Bool("perfect-clocks", false, "disable clock drift (ablation)")
 	metricsOut := flag.String("metrics", "", "write the merged instrument snapshot as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the merged instrument snapshot as Prometheus text to this file")
+	parallel := flag.Int("parallel", 0, "worker goroutines for multi-config sweeps (0 or 1 = serial)")
+	estimates := flag.Bool("estimates", false, "attach confidence intervals and robust estimators per size")
+	adaptRelWidth := flag.Float64("adapt-relwidth", 0, "adaptive stopping: target relative CI half-width (0 = fixed repetitions)")
+	adaptQuantile := flag.Float64("adapt-quantile", 0, "adaptive stopping: quantile the CI bounds (default median)")
+	adaptLevel := flag.Float64("adapt-level", 0, "adaptive stopping: confidence level (default 0.95)")
+	adaptBatch := flag.Int("adapt-batch", 0, "adaptive stopping: repetitions per batch (default -reps)")
+	adaptMaxBatches := flag.Int("adapt-max-batches", 0, "adaptive stopping: batch cap (default 8)")
 	flag.Parse()
 
 	cfg := cluster.Perseus()
@@ -60,6 +74,17 @@ func main() {
 		BinWidth:      *binWidth,
 		Seed:          *seed,
 		PerfectClocks: *perfect,
+		Workers:       *parallel,
+		Estimates:     *estimates,
+	}
+	if *adaptRelWidth > 0 {
+		spec.Target = &mpibench.Target{
+			RelWidth:   *adaptRelWidth,
+			Quantile:   *adaptQuantile,
+			Level:      *adaptLevel,
+			Batch:      *adaptBatch,
+			MaxBatches: *adaptMaxBatches,
+		}
 	}
 	var agg *metrics.Aggregate
 	if *metricsOut != "" || *metricsProm != "" {
@@ -74,6 +99,10 @@ func main() {
 		for _, res := range set.Results {
 			fmt.Printf("\n%s %s on %s (%d samples/size, sync residual %.1fµs)\n",
 				res.Op, res.Placement, res.Cluster, res.Samples, res.SyncResidual*1e6)
+			if m := res.Manifest; m.StopReason != "" {
+				fmt.Printf("adaptive: %d batch(es), stop reason %s (target %.1f%% rel width on q%.2f)\n",
+					m.Batches, m.StopReason, m.Adaptive.RelWidth*100, m.Adaptive.Quantile)
+			}
 			fmt.Printf("%10s %12s %12s %12s %12s %12s\n",
 				"bytes", "min µs", "mean µs", "median µs", "p99 µs", "max µs")
 			for _, pt := range res.Points {
@@ -81,6 +110,17 @@ func main() {
 					pt.Size, pt.Min()*1e6, pt.Avg()*1e6,
 					pt.Hist.Quantile(0.5)*1e6, pt.Hist.Quantile(0.99)*1e6,
 					pt.Hist.Max()*1e6)
+				if pt.Est != nil {
+					fmt.Printf("%10s mean %.1f [%.1f, %.1f]µs  q%.2f %.1f [%.1f, %.1f]µs  trimmed %.1fµs  MAD %.2fµs\n",
+						"", pt.Est.Mean.Point*1e6, pt.Est.Mean.Lo*1e6, pt.Est.Mean.Hi*1e6,
+						pt.Est.Quantile, pt.Est.QuantileCI.Point*1e6,
+						pt.Est.QuantileCI.Lo*1e6, pt.Est.QuantileCI.Hi*1e6,
+						pt.Est.TrimmedMean*1e6, pt.Est.MAD*1e6)
+				}
+			}
+			if res.DriftFlagged {
+				fmt.Printf("WARNING: warmup drift statistic %.1f exceeds threshold — measured series is not stationary; increase -warmup\n",
+					res.WarmupDrift)
 			}
 		}
 	}

@@ -301,6 +301,31 @@ func printFigure6(cfg cluster.Config, p experiments.Params, timing bool) error {
 		}
 		fmt.Println()
 	}
+
+	// Error bars: the replicated series (measured executions and the
+	// Monte-Carlo distribution mode) carry 95% confidence bounds; the
+	// deterministic point-value modes have nothing to report.
+	var barred []experiments.SpeedupSeries
+	for _, s := range res.Series {
+		if s.HasErrorBars() {
+			barred = append(barred, s)
+		}
+	}
+	if len(barred) > 0 {
+		fmt.Printf("\n95%% speedup intervals from replicated runs:\n")
+		fmt.Printf("%-8s%-7s", "config", "procs")
+		for _, s := range barred {
+			fmt.Printf("%30s", s.Label)
+		}
+		fmt.Println()
+		for i := range measured.Procs {
+			fmt.Printf("%-8s%-7d", measured.Configs[i], measured.Procs[i])
+			for _, s := range barred {
+				fmt.Printf("%30s", fmt.Sprintf("%.2f [%.2f, %.2f]", s.Speedups[i], s.Los[i], s.His[i]))
+			}
+			fmt.Println()
+		}
+	}
 	if timing {
 		fmt.Printf("\nmodelled processor time: %.1f s; PEVPM evaluation wall time: %.1f s (%.1fx faster)\n",
 			res.ProcessorSeconds, res.EvalSeconds, res.ProcessorSeconds/res.EvalSeconds)

@@ -28,6 +28,14 @@ type Params struct {
 	MaxNodes    int // largest n in the n×p sweeps (paper: 64)
 	Seed        uint64
 
+	// MeasuredReps replicates Figure 6's measured Jacobi executions so
+	// the measured side of the comparison carries an error bar too
+	// (Student-t CI across replications). Zero means one execution —
+	// the point estimate alone, with a degenerate interval. Replication
+	// 0 keeps the original RNG substream, so point estimates are
+	// unchanged by turning replication on.
+	MeasuredReps int
+
 	// Workers bounds how many simulation cells run concurrently. Zero
 	// means GOMAXPROCS; one is the serial escape hatch. Every cell owns
 	// its engine and derives its RNG substream from (Seed, cell key),
@@ -47,16 +55,25 @@ type Params struct {
 // workers resolves the configured worker count.
 func (p Params) workers() int { return sweep.Workers(p.Workers) }
 
+// measuredReps resolves the measured-execution replication count.
+func (p Params) measuredReps() int {
+	if p.MeasuredReps < 1 {
+		return 1
+	}
+	return p.MeasuredReps
+}
+
 // Quick returns parameters for fast runs (tests, benches).
 func Quick() Params {
 	return Params{
-		Repetitions: 80,
-		WarmUp:      10,
-		SyncProbes:  20,
-		EvalRuns:    5,
-		Iterations:  400,
-		MaxNodes:    64,
-		Seed:        1,
+		Repetitions:  80,
+		WarmUp:       10,
+		SyncProbes:   20,
+		EvalRuns:     5,
+		Iterations:   400,
+		MaxNodes:     64,
+		Seed:         1,
+		MeasuredReps: 3,
 	}
 }
 
@@ -69,8 +86,9 @@ func Full() Params {
 		EvalRuns:    20,
 		Iterations:  4000, // per-iteration behaviour is what Figure 6 plots;
 		// the paper's 100000 iterations only narrow the statistical error
-		MaxNodes: 64,
-		Seed:     1,
+		MaxNodes:     64,
+		Seed:         1,
+		MeasuredReps: 5,
 	}
 }
 
@@ -266,6 +284,27 @@ type SpeedupSeries struct {
 	Configs  []string  `json:"configs"`
 	Procs    []int     `json:"procs"`
 	Speedups []float64 `json:"speedups"`
+
+	// Los and His are the 95% confidence bounds on each speedup — the
+	// figure's error bars. The measured series gets them from
+	// Params.MeasuredReps replicated executions, the distribution-mode
+	// prediction from its EvalRuns Monte-Carlo replications; the
+	// deterministic point-value modes carry degenerate intervals
+	// (Lo == Speedup == Hi).
+	Los []float64 `json:"los"`
+	His []float64 `json:"his"`
+}
+
+// HasErrorBars reports whether any point carries a non-degenerate
+// interval — false for the deterministic point-value prediction modes
+// and for unreplicated runs.
+func (s SpeedupSeries) HasErrorBars() bool {
+	for i := range s.Speedups {
+		if s.Los[i] != s.Speedups[i] || s.His[i] != s.Speedups[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // Figure6Result carries the speedup series plus the evaluation-cost
@@ -354,13 +393,13 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		markStart = elapsed()
 	}
 
-	// Enumerate every independent cell of the figure: one measured
-	// execution per placement plus one virtual-machine replication per
-	// (placement, prediction mode, Monte-Carlo rep). Each cell builds
-	// its own engine and derives its RNG substream from (Seed, cell
-	// key), so the sweep below can run them on any number of workers;
-	// the merge walks cells in canonical order, keeping the figure
-	// bit-identical to a serial run.
+	// Enumerate every independent cell of the figure: MeasuredReps
+	// measured executions per placement plus one virtual-machine
+	// replication per (placement, prediction mode, Monte-Carlo rep).
+	// Each cell builds its own engine and derives its RNG substream
+	// from (Seed, cell key), so the sweep below can run them on any
+	// number of workers; the merge walks cells in canonical order,
+	// keeping the figure bit-identical to a serial run.
 	predLabels := Figure6Modes[1:]
 	type cell struct {
 		pi    int
@@ -369,7 +408,9 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 	}
 	var cells []cell
 	for pi := range pls {
-		cells = append(cells, cell{pi: pi})
+		for rep := 0; rep < p.measuredReps(); rep++ {
+			cells = append(cells, cell{pi: pi, rep: rep})
+		}
 		for _, label := range predLabels {
 			runs := p.EvalRuns
 			if label != "pevpm distributions" {
@@ -385,19 +426,24 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 	if p.Metrics != nil {
 		obs = sweep.NewObserver()
 	}
-	execs := make([]workloads.ExecResult, len(pls))
 	makespans := make([]float64, len(cells))
 	cellMetrics := make([]metrics.Snapshot, len(cells))
 	err = sweep.RunObserved(p.workers(), len(cells), obs, func(i int) error {
 		c := cells[i]
 		pl := pls[c.pi]
 		if c.label == "" {
-			res, err := workloads.Execute(cfg, pl,
-				sim.SubSeed(p.Seed, "fig6:measured:"+pl.String()), j.Run)
+			// Replication 0 keeps the substream key from before measured
+			// replication existed, so recorded point estimates survive.
+			key := "fig6:measured:" + pl.String()
+			if c.rep > 0 {
+				key = fmt.Sprintf("fig6:measured:%s:rep%d", pl, c.rep)
+			}
+			res, err := workloads.Execute(cfg, pl, sim.SubSeed(p.Seed, key), j.Run)
 			if err != nil {
 				return fmt.Errorf("experiments: executing jacobi on %v: %w", pl, err)
 			}
-			execs[c.pi] = res
+			makespans[i] = res.Makespan.Seconds()
+			cellMetrics[i] = res.Metrics
 			return nil
 		}
 		rep, err := pevpm.Evaluate(prog, pevpm.Options{
@@ -416,12 +462,8 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		return nil, err
 	}
 	if p.Metrics != nil {
-		for i, c := range cells {
-			if c.label == "" {
-				p.Metrics.Merge(execs[c.pi].Metrics)
-			} else {
-				p.Metrics.Merge(cellMetrics[i])
-			}
+		for i := range cells {
+			p.Metrics.Merge(cellMetrics[i])
 		}
 		p.Metrics.Merge(obs.Snapshot())
 	}
@@ -431,18 +473,26 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 		c := cells[i]
 		pl := pls[c.pi]
 		procs := pl.NumProcs()
-		if c.label == "" {
-			makespan := execs[c.pi].Makespan.Seconds()
-			processorSeconds += makespan * float64(procs)
-			appendPoint(series["measured"], pl.String(), procs, serial/makespan)
-			i++
-			continue
-		}
+		first := i
 		var sum stats.Summary
 		for ; i < len(cells) && cells[i].pi == c.pi && cells[i].label == c.label; i++ {
 			sum.Add(makespans[i])
 		}
-		appendPoint(series[c.label], pl.String(), procs, serial/sum.Mean)
+		label := c.label
+		var point float64
+		if label == "" {
+			label = "measured"
+			// The point estimate is replication 0 alone — the exact run
+			// the figure plotted before replication existed; the extra
+			// replications only feed the error bar. Processor time stays
+			// the single-execution accounting for the same reason.
+			point = serial / makespans[first]
+			processorSeconds += makespans[first] * float64(procs)
+		} else {
+			point = serial / sum.Mean
+		}
+		lo, hi := speedupBounds(serial, point, sum)
+		appendPoint(series[label], pl.String(), procs, point, lo, hi)
 	}
 
 	out := &Figure6Result{ProcessorSeconds: processorSeconds}
@@ -455,10 +505,34 @@ func Figure6(cfg cluster.Config, p Params, elapsed func() float64) (*Figure6Resu
 	return out, nil
 }
 
-func appendPoint(s *SpeedupSeries, config string, procs int, speedup float64) {
+// speedupBounds maps a 95% Student-t interval on the replicated
+// makespans into speedup space (speedup = serial/makespan, so the
+// bounds swap). A small-n interval whose lower makespan bound crosses
+// zero is clamped to the fastest observed run, and the bar is widened
+// to include the plotted point — error bars that exclude their own
+// point read as a bug, not as honesty about replication-0 plotting.
+func speedupBounds(serial, point float64, sum stats.Summary) (lo, hi float64) {
+	iv := stats.StudentCI(sum, 0.95)
+	mlo := iv.Lo
+	if mlo <= 0 {
+		mlo = sum.Min
+	}
+	lo, hi = serial/iv.Hi, serial/mlo
+	if point < lo {
+		lo = point
+	}
+	if point > hi {
+		hi = point
+	}
+	return lo, hi
+}
+
+func appendPoint(s *SpeedupSeries, config string, procs int, speedup, lo, hi float64) {
 	s.Configs = append(s.Configs, config)
 	s.Procs = append(s.Procs, procs)
 	s.Speedups = append(s.Speedups, speedup)
+	s.Los = append(s.Los, lo)
+	s.His = append(s.His, hi)
 }
 
 // SeriesByLabel returns the series with the given label.

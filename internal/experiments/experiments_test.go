@@ -254,3 +254,60 @@ func TestFigure6Claims(t *testing.T) {
 		}
 	}
 }
+
+// TestFigure6ErrorBars checks the interval plumbing: the replicated
+// series carry non-degenerate 95% bars that bracket their own points,
+// the deterministic point-value modes carry degenerate ones, and the
+// measured point estimate comes from replication 0 alone (so bars are
+// an addition, never a perturbation, to the recorded figure).
+func TestFigure6ErrorBars(t *testing.T) {
+	p := small()
+	p.MaxNodes = 8
+	res, err := Figure6(cluster.Perseus(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if len(s.Los) != len(s.Speedups) || len(s.His) != len(s.Speedups) {
+			t.Fatalf("%s: bounds misaligned with speedups", s.Label)
+		}
+		for i := range s.Speedups {
+			if s.Los[i] > s.Speedups[i] || s.His[i] < s.Speedups[i] {
+				t.Errorf("%s[%s]: bar [%v, %v] excludes point %v",
+					s.Label, s.Configs[i], s.Los[i], s.His[i], s.Speedups[i])
+			}
+		}
+	}
+	measured, _ := res.SeriesByLabel("measured")
+	dist, _ := res.SeriesByLabel("pevpm distributions")
+	if !measured.HasErrorBars() {
+		t.Error("measured series has no error bars despite MeasuredReps > 1")
+	}
+	if !dist.HasErrorBars() {
+		t.Error("distribution mode has no error bars despite EvalRuns > 1")
+	}
+	for _, label := range []string{"pevpm avg nxp", "pevpm avg 2x1", "pevpm min 2x1"} {
+		s, _ := res.SeriesByLabel(label)
+		if s.HasErrorBars() {
+			t.Errorf("deterministic mode %s grew error bars", label)
+		}
+	}
+
+	// Replication off: points must match the replicated run's points
+	// exactly — replication only adds information.
+	p.MeasuredReps = 1
+	single, err := Figure6(cluster.Perseus(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := single.SeriesByLabel("measured")
+	for i := range measured.Speedups {
+		if m1.Speedups[i] != measured.Speedups[i] {
+			t.Errorf("%s: replication moved the measured point %v -> %v",
+				measured.Configs[i], m1.Speedups[i], measured.Speedups[i])
+		}
+		if m1.Los[i] != m1.Speedups[i] || m1.His[i] != m1.Speedups[i] {
+			t.Errorf("%s: unreplicated run has non-degenerate bar", m1.Configs[i])
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package mpibench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func adaptiveSpec(pl cluster.Placement) Spec {
+	s := quickSpec(pl, OpIsend, 64, 1024)
+	s.Repetitions = 40
+	s.Target = &Target{RelWidth: 0.05, Batch: 40, MaxBatches: 4, Resamples: 100}
+	return s
+}
+
+func TestAdaptiveRun(t *testing.T) {
+	cfg := cluster.Perseus()
+	res, err := Run(cfg, adaptiveSpec(place(t, &cfg, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m.Adaptive == nil {
+		t.Fatal("manifest missing adaptive stopping rule")
+	}
+	if m.Batches < 1 || m.Batches > 4 {
+		t.Errorf("batches = %d, want 1..4", m.Batches)
+	}
+	if m.StopReason != StopTargetMet && m.StopReason != StopMaxBatches {
+		t.Errorf("stop reason %q", m.StopReason)
+	}
+	// Resolved defaults must be recorded, not the zero knobs.
+	if m.Adaptive.Quantile != 0.5 || m.Adaptive.Level != 0.95 {
+		t.Errorf("adaptive knobs not defaulted: %+v", m.Adaptive)
+	}
+	for _, p := range res.Points {
+		if p.Est == nil {
+			t.Fatalf("size %d: adaptive run has no estimates", p.Size)
+		}
+		// The merged histogram and the raw-sample estimates must agree:
+		// same total sample count, and the CI brackets its own point.
+		if p.Est.Mean.N != p.Hist.Count() {
+			t.Errorf("size %d: est over %d samples, hist holds %d",
+				p.Size, p.Est.Mean.N, p.Hist.Count())
+		}
+		if !p.Est.QuantileCI.Contains(p.Est.QuantileCI.Point) {
+			t.Errorf("size %d: quantile CI excludes its point", p.Size)
+		}
+		if p.Est.Median <= 0 || p.Est.TrimmedMean <= 0 {
+			t.Errorf("size %d: non-positive robust estimates: %+v", p.Size, p.Est)
+		}
+	}
+	if m.StopReason == StopTargetMet {
+		// The contract: every size met the relative-width target.
+		for _, p := range res.Points {
+			if rw := p.Est.QuantileCI.RelHalfWidth(); rw > m.Adaptive.RelWidth {
+				t.Errorf("size %d: stopped at target but rel width %.3f > %.3f",
+					p.Size, rw, m.Adaptive.RelWidth)
+			}
+		}
+	}
+	// Batches accumulate: total samples exceed one batch's worth.
+	if res.Samples < 40 {
+		t.Errorf("samples = %d, want at least one batch", res.Samples)
+	}
+}
+
+func TestAdaptiveStopsEarlyWhenPrecise(t *testing.T) {
+	// A loose target must be met after the first batch; an unmeetable
+	// one must run to the cap. Same spec, same seed — only the contract
+	// differs, so the batch count difference is the stopping rule.
+	cfg := cluster.Perseus()
+	pl := place(t, &cfg, 2, 1)
+
+	loose := adaptiveSpec(pl)
+	loose.Target.RelWidth = 0.9
+	res, err := Run(cfg, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifest.Batches != 1 || res.Manifest.StopReason != StopTargetMet {
+		t.Errorf("loose target: batches=%d reason=%q, want 1 batch target-met",
+			res.Manifest.Batches, res.Manifest.StopReason)
+	}
+
+	tight := adaptiveSpec(pl)
+	tight.Target.RelWidth = 1e-9
+	res, err = Run(cfg, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifest.Batches != 4 || res.Manifest.StopReason != StopMaxBatches {
+		t.Errorf("unmeetable target: batches=%d reason=%q, want 4 batches max-batches",
+			res.Manifest.Batches, res.Manifest.StopReason)
+	}
+}
+
+func TestAdaptiveRejectsZeroWarmup(t *testing.T) {
+	cfg := cluster.Perseus()
+	s := adaptiveSpec(place(t, &cfg, 2, 1))
+	s.WarmUp = 0
+	_, err := Run(cfg, s)
+	if err == nil || !strings.Contains(err.Error(), "WarmUp") {
+		t.Errorf("adaptive run with zero warmup: err = %v, want WarmUp rejection", err)
+	}
+}
+
+func TestAdaptiveDeterminism(t *testing.T) {
+	cfg := cluster.Perseus()
+	run := func() []byte {
+		res, err := Run(cfg, adaptiveSpec(place(t, &cfg, 2, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := &Set{Cluster: cfg.Name}
+		set.Add(res)
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Error("two adaptive runs with the same seed differ")
+	}
+}
+
+// TestAdaptiveSweepWorkersEquality is the adaptive-stopping version of
+// TestRunSweepWorkersEquality: estimates, stopping decisions and
+// manifests must be byte-identical at any worker count because every
+// random draw comes from a named substream of the per-cell seed.
+func TestAdaptiveSweepWorkersEquality(t *testing.T) {
+	cfg := cluster.Perseus()
+	pls := []cluster.Placement{
+		place(t, &cfg, 2, 1), place(t, &cfg, 4, 1), place(t, &cfg, 4, 2),
+	}
+
+	encode := func(workers int) []byte {
+		spec := adaptiveSpec(cluster.Placement{})
+		spec.Workers = workers
+		set, err := RunSweep(cfg, spec, pls)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(got, serial) {
+			t.Errorf("Workers=%d adaptive sweep differs from serial", workers)
+		}
+	}
+}
+
+func TestEstimatesOnFixedRun(t *testing.T) {
+	cfg := cluster.Perseus()
+	s := quickSpec(place(t, &cfg, 2, 1), OpIsend, 1024)
+	s.Estimates = true
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := res.PointFor(1024)
+	if !ok || p.Est == nil {
+		t.Fatal("fixed run with Estimates has no estimates")
+	}
+	if p.Est.Mean.Lo >= p.Est.Mean.Hi {
+		t.Errorf("degenerate mean CI: %v", p.Est.Mean)
+	}
+	if !p.Est.Mean.Contains(p.Avg()) {
+		t.Errorf("mean CI %v excludes histogram mean %v", p.Est.Mean, p.Avg())
+	}
+	// Median and trimmed mean sit inside the observed range.
+	if p.Est.Median < p.Min() || p.Est.Median > p.Hist.Max() {
+		t.Errorf("median %v outside [min, max]", p.Est.Median)
+	}
+	if p.Est.MAD < 0 {
+		t.Errorf("negative MAD %v", p.Est.MAD)
+	}
+	// Drift on a well-warmed-up stationary benchmark stays modest.
+	if res.DriftFlagged {
+		t.Errorf("stationary run flagged for drift (stat %.2f)", res.WarmupDrift)
+	}
+}
+
+func TestEstimatesOffByDefault(t *testing.T) {
+	cfg := cluster.Perseus()
+	res, err := Run(cfg, quickSpec(place(t, &cfg, 2, 1), OpIsend, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Est != nil {
+			t.Error("estimates attached without Spec.Estimates")
+		}
+	}
+	// The manifest is attached unconditionally.
+	if res.Manifest.Schema != ManifestSchema || res.Manifest.ClusterHash == "" {
+		t.Errorf("manifest incomplete: %+v", res.Manifest)
+	}
+	if res.Manifest.GoVersion == "" {
+		t.Error("manifest missing Go version")
+	}
+}
+
+func TestManifestClusterHashSensitivity(t *testing.T) {
+	a := cluster.Perseus()
+	b := cluster.Perseus()
+	b.LinkRate *= 1.01
+	ha, hb := ClusterHash(&a), ClusterHash(&b)
+	if ha == hb {
+		t.Error("cluster hash blind to a bandwidth change")
+	}
+	if len(ha) != 16 {
+		t.Errorf("hash %q not 16 hex chars", ha)
+	}
+}
+
+// TestMarkDriftFlagsDriftingSeries is the regression test for the
+// warmup-drift check: a deliberately drifting synthetic series (a ramp
+// dwarfing its noise) must be flagged, a stationary one must not.
+func TestMarkDriftFlagsDriftingSeries(t *testing.T) {
+	drifting := make([]float64, 64)
+	stationary := make([]float64, 64)
+	for i := range drifting {
+		wob := 1e-7 * math.Sin(float64(3*i))
+		drifting[i] = 100e-6 + float64(i)*2e-6 + wob
+		stationary[i] = 100e-6 + wob
+	}
+
+	var res Result
+	markDrift(&res, [][]float64{stationary, drifting}, defaultDriftThreshold)
+	if !res.DriftFlagged {
+		t.Errorf("ramp series not flagged (stat %.2f)", res.WarmupDrift)
+	}
+
+	res = Result{}
+	markDrift(&res, [][]float64{stationary}, defaultDriftThreshold)
+	if res.DriftFlagged {
+		t.Errorf("stationary series flagged (stat %.2f)", res.WarmupDrift)
+	}
+}

@@ -22,6 +22,27 @@ type Point struct {
 	// program. Only a benchmark that times every rank individually (the
 	// paper's globally-synchronised-clock design) can measure it.
 	MaxHist *stats.Histogram `json:"max_hist,omitempty"`
+
+	// Est carries the robust estimators and confidence intervals for
+	// this size, present when the spec asked for them (Spec.Estimates
+	// or adaptive stopping).
+	Est *Estimates `json:"est,omitempty"`
+}
+
+// Estimates summarises one size's sample with interval estimates and
+// outlier-robust statistics. The mean CI is normal-theory (Student-t);
+// the quantile CI is a percentile bootstrap — quantiles of arbitrary
+// benchmark distributions have no usable closed-form interval.
+type Estimates struct {
+	Mean       stats.Interval `json:"mean"`
+	Quantile   float64        `json:"quantile"` // which quantile QuantileCI bounds
+	QuantileCI stats.Interval `json:"quantile_ci"`
+
+	// Robust location and scale: a handful of retransmission-timeout
+	// outliers moves the mean and std, not these.
+	Median      float64 `json:"median"`
+	TrimmedMean float64 `json:"trimmed_mean"` // 10% cut from each tail
+	MAD         float64 `json:"mad"`          // ×1.4826 ≈ robust σ
 }
 
 // Min returns the fastest individual operation observed — the paper's
@@ -54,6 +75,17 @@ type Result struct {
 	Scenario   string `json:"scenario,omitempty"`
 	Retries    uint64 `json:"retries,omitempty"`
 	FaultDrops uint64 `json:"fault_drops,omitempty"`
+
+	// Manifest is the reproducibility record: full spec, seed, cluster
+	// fingerprint, toolchain and scenario. See manifest.go.
+	Manifest Manifest `json:"manifest"`
+
+	// WarmupDrift is the Welch drift statistic of the measured
+	// per-repetition series (worst size), computed when estimates are
+	// on; DriftFlagged marks it exceeding the configured threshold —
+	// the warmup was too short and the measurement is not stationary.
+	WarmupDrift  float64 `json:"warmup_drift,omitempty"`
+	DriftFlagged bool    `json:"drift_flagged,omitempty"`
 
 	// Metrics is the run's full instrument snapshot (sim kernel, netsim,
 	// mpi). Excluded from the saved Set JSON: observability files are

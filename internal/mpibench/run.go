@@ -31,7 +31,9 @@ const (
 )
 
 // Run executes one benchmark on a freshly simulated cluster and returns
-// the measured distributions.
+// the measured distributions. With Spec.Target set it runs adaptively:
+// batches of repetitions until the CI width target is met (see
+// runAdaptive); otherwise a single fixed-count batch.
 func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	spec = spec.Defaults()
 	if spec.Op == OpBarrier {
@@ -40,7 +42,34 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	if err := spec.Validate(&cfg); err != nil {
 		return nil, err
 	}
+	if spec.Target != nil {
+		return runAdaptive(cfg, spec)
+	}
+	res, raw, err := runBatch(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	res.Manifest = newManifest(&cfg, spec)
+	if spec.Estimates {
+		attachEstimates(res, raw.samples, spec, estDefaults(spec))
+		markDrift(res, raw.perRep, defaultDriftThreshold)
+	}
+	return res, nil
+}
 
+// rawRun carries a batch's raw measured durations before they are
+// folded into histograms: per size, every positive per-rank duration in
+// recording order, plus the per-repetition mean series the
+// warmup-stationarity drift check runs on.
+type rawRun struct {
+	samples [][]float64 // [size][observation] seconds
+	perRep  [][]float64 // [size][measured repetition] mean across ranks
+}
+
+// runBatch executes one simulated benchmark (the fixed-count core Run
+// has always had) and additionally returns the raw samples. The spec
+// must already have defaults applied and be validated.
+func runBatch(cfg cluster.Config, spec Spec) (*Result, *rawRun, error) {
 	e := sim.NewEngine(spec.Seed)
 	net := netsim.New(e, cfg)
 	w := mpi.NewWorld(e, net, spec.Placement)
@@ -80,7 +109,7 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	// accumulate parked goroutines. After a clean Wait this is a no-op.
 	defer w.Shutdown()
 	if _, err := w.Wait(); err != nil {
-		return nil, fmt.Errorf("mpibench: %s on %s: %w", spec.Op, pl, err)
+		return nil, nil, fmt.Errorf("mpibench: %s on %s: %w", spec.Op, pl, err)
 	}
 
 	// Fit one clock correction per node; node 0 holds the reference.
@@ -89,7 +118,7 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	for node := 1; node < pl.NodeCount; node++ {
 		c, err := vclock.Estimate(probes[node])
 		if err != nil {
-			return nil, fmt.Errorf("mpibench: syncing node %d: %w", node, err)
+			return nil, nil, fmt.Errorf("mpibench: syncing node %d: %w", node, err)
 		}
 		corr[node] = c
 		if c.Residual > worstResidual {
@@ -113,6 +142,10 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 	if spec.Faults != nil {
 		res.Scenario = spec.Faults.Name
 	}
+	raw := &rawRun{
+		samples: make([][]float64, nSizes),
+		perRep:  make([][]float64, nSizes),
+	}
 	half := procs / 2
 	for si, size := range spec.Sizes {
 		h := stats.NewHistogram(spec.BinWidth)
@@ -123,8 +156,11 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 			// only because every rank is timed individually.
 			maxH = stats.NewHistogram(spec.BinWidth)
 		}
+		raw.samples[si] = make([]float64, 0, spec.Repetitions*procs)
+		raw.perRep[si] = make([]float64, 0, spec.Repetitions)
 		for rep := spec.WarmUp; rep < total; rep++ {
 			slowest := 0.0
+			repSum, repN := 0.0, 0
 			for rank := 0; rank < procs; rank++ {
 				myNode := pl.LogicalNode(rank)
 				end := corr[myNode].Global(recvEnds[rank][si][rep])
@@ -137,6 +173,9 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 				}
 				if d := end - begin; d > 0 {
 					h.Add(d)
+					raw.samples[si] = append(raw.samples[si], d)
+					repSum += d
+					repN++
 					if d > slowest {
 						slowest = d
 					}
@@ -145,11 +184,14 @@ func Run(cfg cluster.Config, spec Spec) (*Result, error) {
 			if maxH != nil && slowest > 0 {
 				maxH.Add(slowest)
 			}
+			if repN > 0 {
+				raw.perRep[si] = append(raw.perRep[si], repSum/float64(repN))
+			}
 		}
 		res.Points = append(res.Points, Point{Size: size, Hist: h, MaxHist: maxH})
 		res.Samples = h.Count()
 	}
-	return res, nil
+	return res, raw, nil
 }
 
 // runner carries the state the per-rank benchmark program needs.

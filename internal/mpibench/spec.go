@@ -92,6 +92,22 @@ type Spec struct {
 	// reproducible as the healthy run.
 	Faults *faults.Schedule
 
+	// Estimates, when true, attaches robust estimators and confidence
+	// intervals to every Point (Point.Est): a Student-t CI on the mean,
+	// a percentile-bootstrap CI on the chosen quantile, and the
+	// median/trimmed-mean/MAD trio. The bootstrap draws from an RNG
+	// substream derived via sim.SubSeed from the spec itself, so
+	// interval output is bit-identical at any sweep worker count.
+	// Adaptive runs (Target != nil) always compute estimates.
+	Estimates bool
+
+	// Target, when non-nil, enables adaptive stopping: Run executes
+	// batches of repetitions (each batch an independent simulation with
+	// a sub-seeded engine) until the confidence interval on the chosen
+	// quantile is narrower than the target relative width on every
+	// message size, or the batch cap is hit. See docs/BENCHMARKING.md.
+	Target *Target
+
 	// Seed drives all simulation randomness.
 	Seed uint64
 
@@ -100,6 +116,69 @@ type Spec struct {
 	// produces bit-identical results because each cell owns its engine
 	// and seed and the merge is in placement order.
 	Workers int
+}
+
+// Target is the experimental-design stopping rule for adaptive runs:
+// keep measuring until the chosen quantile is known to the requested
+// relative precision. "MPI Benchmarking Revisited" (Hunold &
+// Carpen-Amarie) shows fixed arbitrary repetition counts either waste
+// time or under-sample; the rule here replaces them with an explicit
+// precision contract plus a hard cap.
+type Target struct {
+	// Quantile is the quantile whose CI drives stopping (0 defaults to
+	// 0.5, the median — robust against retransmission-timeout tails).
+	Quantile float64 `json:"quantile"`
+
+	// RelWidth is the stopping threshold: stop once the CI half-width
+	// divided by the point estimate is at or below this on every
+	// message size. Required (no default).
+	RelWidth float64 `json:"rel_width"`
+
+	// Level is the confidence level of the interval (default 0.95).
+	Level float64 `json:"level"`
+
+	// Batch is the number of measured repetitions per batch (default
+	// Spec.Repetitions). Each batch is an independent simulation seeded
+	// from sim.SubSeed(Spec.Seed, "adaptive:batch<i>"), so an adaptive
+	// run is exactly as reproducible as a fixed-count one.
+	Batch int `json:"batch"`
+
+	// MaxBatches caps the run (default 8): a distribution too wide to
+	// pin down stops here and reports StopReason "max-batches".
+	MaxBatches int `json:"max_batches"`
+
+	// Resamples is the bootstrap resample count per CI (default 200).
+	Resamples int `json:"resamples"`
+
+	// DriftThreshold flags warmup non-stationarity: if the Welch drift
+	// statistic (stats.DriftStat) of the first batch's per-repetition
+	// series exceeds it, the Result is marked DriftFlagged — the warmup
+	// was too short and early measurements still carry transient state.
+	// Default 4.
+	DriftThreshold float64 `json:"drift_threshold"`
+}
+
+// withDefaults resolves the zero values against the spec.
+func (t Target) withDefaults(s Spec) Target {
+	if t.Quantile == 0 {
+		t.Quantile = 0.5
+	}
+	if t.Level == 0 {
+		t.Level = 0.95
+	}
+	if t.Batch == 0 {
+		t.Batch = s.Repetitions
+	}
+	if t.MaxBatches == 0 {
+		t.MaxBatches = 8
+	}
+	if t.Resamples == 0 {
+		t.Resamples = 200
+	}
+	if t.DriftThreshold == 0 {
+		t.DriftThreshold = 4
+	}
+	return t
 }
 
 // sweepWorkers resolves Workers for RunSweep: the zero value stays
@@ -116,7 +195,10 @@ func (s Spec) Defaults() Spec {
 	if s.Repetitions == 0 {
 		s.Repetitions = 300
 	}
-	if s.WarmUp == 0 {
+	if s.WarmUp == 0 && s.Target == nil {
+		// Adaptive runs get no implicit warmup: the stopping rule's
+		// drift check interprets the warmup length, so the caller must
+		// choose it consciously (Validate rejects zero).
 		s.WarmUp = 20
 	}
 	if s.BinWidth == 0 {
@@ -171,6 +253,26 @@ func (s Spec) Validate(cfg *cluster.Config) error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("mpibench: %w", err)
+	}
+	if s.Target != nil {
+		if s.WarmUp == 0 {
+			return fmt.Errorf("mpibench: adaptive stopping requires WarmUp > 0 — " +
+				"the warmup-drift check compares the halves of the measured series, " +
+				"which is only meaningful after an explicit warmup phase")
+		}
+		t := *s.Target
+		if t.RelWidth <= 0 {
+			return fmt.Errorf("mpibench: adaptive target needs RelWidth > 0, got %v", t.RelWidth)
+		}
+		if t.Quantile < 0 || t.Quantile >= 1 {
+			return fmt.Errorf("mpibench: adaptive target quantile %v outside [0, 1)", t.Quantile)
+		}
+		if t.Level < 0 || t.Level >= 1 {
+			return fmt.Errorf("mpibench: adaptive target level %v outside [0, 1)", t.Level)
+		}
+		if t.Batch < 0 || t.MaxBatches < 0 || t.Resamples < 0 || t.DriftThreshold < 0 {
+			return fmt.Errorf("mpibench: adaptive target has negative knobs: %+v", t)
+		}
 	}
 	return nil
 }
