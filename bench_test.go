@@ -479,3 +479,40 @@ func BenchmarkClockSync(b *testing.B) {
 	}
 	b.ReportMetric(worst*1e6, "worst-sync-residual-us")
 }
+
+// BenchmarkShardedRun measures the sharded large-cluster engine: one
+// 2048-node fat-tree windowed-ring run per iteration, executed by all
+// cores. The shard-speedup metric compares a 1-worker run against an
+// all-cores run of the same spec (whose outputs are byte-identical by
+// the determinism contract); on a single-core machine it reports ~1.0
+// by construction, so treat it as informative on multi-core runners
+// only.
+func BenchmarkShardedRun(b *testing.B) {
+	spec := experiments.LargeRunSpec{
+		Topo: "fattree:2048x32x8", Rounds: 1, Window: 2, Size: 8192, Seed: 1,
+	}
+	timeOne := func(workers int) float64 {
+		s := spec
+		s.Workers = workers
+		start := time.Now()
+		if _, err := experiments.LargeRun(s); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	serial := timeOne(1)
+	parallel := timeOne(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Seed = uint64(i + 1)
+		rep, err := experiments.LargeRun(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Makespan == 0 {
+			b.Fatal("degenerate run")
+		}
+	}
+	b.ReportMetric(serial/parallel, "shard-speedup")
+}

@@ -19,7 +19,10 @@
 #      (stopping decisions, confidence intervals and manifests included)
 #   6. the fault-injection gates: one scenario preset smoke-run through
 #      the CLI, then the serial-vs-parallel determinism diff of the
-#      full perturbed sweep (figures and metrics)
+#      full perturbed sweep (figures and metrics); the determinism step
+#      also covers the sharded large-run mode (a 2048-node fat tree at
+#      1 vs 4 shards, healthy and faulted), and a fat-tree smoke run
+#      below keeps the hierarchical-topology CLI path exercised
 #   7. the pprof smoke: `make profile` must produce non-empty CPU and
 #      allocation profiles (tooling stays usable; timing not gated)
 #   8. the benchmark CI-overlap gate against BENCH_baseline.json:
@@ -39,6 +42,9 @@ make lint
 make determinism
 make faults-smoke
 make determinism-faults
+# fat-tree smoke: the sharded large-run CLI end to end on a fresh topology
+go run ./cmd/run -app largerun -topo fattree:512x16x4 -shards 0 -rounds 1 -window 2 -msg-size 4096 > /dev/null
+go run ./cmd/run -app largerun -topo dragonfly:8x4x8+2rail -shards 0 -rounds 1 -window 1 -msg-size 2048 > /dev/null
 make profile
 test -s profiles/cpu.pprof
 test -s profiles/allocs.pprof

@@ -334,6 +334,24 @@ func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 		return nil, err
 	}
 
+	if err := timed("shardrun", func() error {
+		// The sharded large-cluster run: 256 nodes over a fat tree,
+		// partitioned one LP per leaf. The makespan is a figure metric
+		// (seed-deterministic, worker-independent); the wall metric
+		// watches the sharded engine's execution cost.
+		rep, err := experiments.LargeRun(experiments.LargeRunSpec{
+			Topo: "fattree:256x32x8", Rounds: 1, Window: 2, Size: 8192,
+			Seed: seed, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		m["shardrun_makespan_s"] = rep.Makespan.Seconds()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	if err := timed("collectives", func() error {
 		pc := p
 		pc.MaxNodes = 16

@@ -24,6 +24,12 @@
 // PEVPM, sweep pool) as JSON and Prometheus text. The snapshot derives
 // only from simulation state, so the files are byte-identical for every
 // -parallel value; see docs/OBSERVABILITY.md.
+//
+// This command always runs the serial flat-Perseus model; the committed
+// golden transcripts `make determinism` diffs it against are unchanged
+// by the sharded execution engine, which has its own gate in the same
+// target (a 2048-node fat tree via `cmd/run -app largerun`, diffed at
+// 1 vs 4 shards — see docs/TOPOLOGY.md).
 package main
 
 import (

@@ -13,14 +13,25 @@
 // -faults injects a scenario preset (docs/FAULTS.md) retargeted onto
 // the job's physical nodes; the Chrome export then shows the fault
 // windows on their own track above the rank timelines.
+//
+// -app largerun switches to the sharded large-cluster mode: a windowed
+// ring over a hierarchical topology (-topo, docs/TOPOLOGY.md),
+// partitioned one logical process per leaf switch and executed by
+// -shards worker threads. Everything printed or written is
+// byte-identical at every -shards value:
+//
+//	run -app largerun -topo fattree:2048x32x8 -shards 4
+//	run -app largerun -topo dragonfly:8x4x8 -shards 2 -faults congested-backplane
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
@@ -30,7 +41,13 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "jacobi", "workload: jacobi, fft, taskfarm, summa")
+	app := flag.String("app", "jacobi", "workload: jacobi, fft, taskfarm, summa, largerun")
+	topoSpec := flag.String("topo", "fattree:2048x32x8", "largerun: hierarchical topology spec (docs/TOPOLOGY.md)")
+	shards := flag.Int("shards", 0, "largerun: worker threads executing the sharded run (0 = all cores; never changes output)")
+	rounds := flag.Int("rounds", 2, "largerun: send windows per rank")
+	window := flag.Int("window", 4, "largerun: messages per window")
+	msgSize := flag.Int("msg-size", 16384, "largerun: data message payload bytes")
+	manifestOut := flag.String("manifest", "", "largerun: write the reproducibility manifest JSON to this file")
 	machine := flag.String("machine", "perseus", "cluster: perseus, myrinet")
 	config := flag.String("config", "8x1", "placement in nxp notation")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -43,6 +60,12 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the run's instrument snapshot as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the run's instrument snapshot as Prometheus text to this file")
 	flag.Parse()
+
+	if *app == "largerun" {
+		runLarge(*topoSpec, *shards, *rounds, *window, *msgSize, *seed,
+			*faultsFlag, *faultsSpan, *manifestOut, *metricsOut, *metricsProm)
+		return
+	}
 
 	var cfg cluster.Config
 	switch *machine {
@@ -88,7 +111,9 @@ func main() {
 
 	var sched *faults.Schedule
 	if *faultsFlag != "" {
-		s, err := cluster.Scenario(*faultsFlag, *seed, pl.NodeCount, *faultsSpan)
+		s, err := cluster.Scenario(*faultsFlag, *seed, cluster.ScenarioEnv{
+			Nodes: pl.NodeCount, Segments: cfg.NumSegments(), Span: *faultsSpan,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -179,6 +204,65 @@ func retargetNodes(s *faults.Schedule, pl cluster.Placement) {
 			continue
 		}
 		r.Target = pl.NodeOf(r.Target * pl.PerNode)
+	}
+}
+
+// runLarge executes the sharded large-cluster mode. Everything it
+// prints or writes is part of the determinism contract: the Makefile's
+// sharded-vs-serial gate diffs this output across -shards values.
+func runLarge(topoSpec string, shards, rounds, window, msgSize int, seed uint64,
+	faultsName string, faultsSpan float64, manifestOut, metricsOut, metricsProm string) {
+	spec := experiments.LargeRunSpec{
+		Topo:    topoSpec,
+		Rounds:  rounds,
+		Window:  window,
+		Size:    msgSize,
+		Seed:    seed,
+		Workers: shards,
+	}
+	if faultsName != "" {
+		topo, nodes, err := cluster.ParseTopology(topoSpec)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := cluster.Scenario(faultsName, seed, cluster.ScenarioEnv{
+			Nodes: nodes, Segments: topo.NumSegments(), Span: faultsSpan,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults = s
+		fmt.Printf("fault scenario %s over [0, %.2fs):\n", s.Name, faultsSpan)
+		for _, r := range s.Rules {
+			fmt.Printf("  %s\n", r.String())
+		}
+	}
+	rep, err := experiments.LargeRun(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Transcript)
+	if manifestOut != "" {
+		data, err := json.MarshalIndent(rep.Manifest, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(manifestOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", manifestOut)
+	}
+	if metricsOut != "" {
+		if err := rep.Metrics.SaveJSON(metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
+	}
+	if metricsProm != "" {
+		if err := rep.Metrics.SavePrometheus(metricsProm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsProm)
 	}
 }
 

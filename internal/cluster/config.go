@@ -24,6 +24,19 @@ type Config struct {
 	CPUsPerNode    int // processes a node can host without oversubscription
 	PortsPerSwitch int // nodes attached to each switch
 
+	// MaxSwitches caps how many switches the flat (daisy-chained)
+	// machine physically has; 0 means the chassis count is unknown and
+	// switches are derived from the node count. Perseus has five
+	// switches, so its port capacity is 5×24 = 120 nodes: node counts
+	// beyond that used to silently conjure extra switches.
+	MaxSwitches int `json:",omitempty"`
+
+	// Topo, when non-nil, replaces the flat switch list with a
+	// hierarchical fabric (fat-tree, dragonfly, arbitrary switch tree).
+	// PortsPerSwitch must equal Topo.LeafPorts and Nodes must fit the
+	// topology's leaf capacity.
+	Topo *Topology `json:",omitempty"`
+
 	// Link layer.
 	LinkRate      float64 // node NIC rate, full duplex (bits/s)
 	MTU           int     // TCP payload bytes per Ethernet frame
@@ -110,6 +123,8 @@ func Perseus() Config {
 
 		EagerLimit: 16384,
 		CtrlBytes:  64,
+
+		MaxSwitches: 5,
 	}
 }
 
@@ -137,20 +152,67 @@ func (c *Config) Validate() error {
 	case c.MaxDropProb < 0 || c.MaxDropProb > 1:
 		return fmt.Errorf("cluster %q: MaxDropProb = %v", c.Name, c.MaxDropProb)
 	}
+	if c.Topo != nil {
+		if err := c.Topo.Validate(); err != nil {
+			return fmt.Errorf("cluster %q: %w", c.Name, err)
+		}
+		if c.PortsPerSwitch != c.Topo.LeafPorts {
+			return fmt.Errorf("cluster %q: PortsPerSwitch = %d but topology leaves have %d ports",
+				c.Name, c.PortsPerSwitch, c.Topo.LeafPorts)
+		}
+		if ports := c.Topo.Capacity(); c.Nodes > ports {
+			return fmt.Errorf("cluster %q: %d nodes oversubscribe topology %q (%d leaves × %d ports = %d node ports)",
+				c.Name, c.Nodes, c.Topo.Name, c.Topo.Leaves, c.Topo.LeafPorts, ports)
+		}
+		return nil
+	}
+	if c.MaxSwitches > 0 {
+		if ports := c.MaxSwitches * c.PortsPerSwitch; c.Nodes > ports {
+			return fmt.Errorf("cluster %q: %d nodes oversubscribe the machine (%d switches × %d ports = %d node ports)",
+				c.Name, c.Nodes, c.MaxSwitches, c.PortsPerSwitch, ports)
+		}
+	}
 	return nil
 }
 
-// NumSwitches returns how many switches the node count requires.
+// NumSwitches returns how many switches the machine has: every switch
+// of the hierarchical topology when one is set, otherwise as many flat
+// switches as the node count requires.
 func (c *Config) NumSwitches() int {
+	if c.Topo != nil {
+		return c.Topo.Switches
+	}
 	return (c.Nodes + c.PortsPerSwitch - 1) / c.PortsPerSwitch
 }
 
-// SwitchOf returns the switch a node's port belongs to.
+// SwitchOf returns the switch a node's port belongs to (its leaf switch
+// under a hierarchical topology; leaf IDs coincide with flat switch
+// IDs).
 func (c *Config) SwitchOf(node int) int {
 	if node < 0 || node >= c.Nodes {
 		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", node, c.Nodes))
 	}
 	return node / c.PortsPerSwitch
+}
+
+// NumSegments returns how many inter-switch channels the machine has:
+// the topology's links, or the flat daisy-chain's switch-to-switch
+// stacking segments. Fault rules of kind BackplaneDegrade target these
+// by index.
+func (c *Config) NumSegments() int {
+	if c.Topo != nil {
+		return c.Topo.NumSegments()
+	}
+	return c.NumSwitches() - 1
+}
+
+// Rails returns how many parallel NIC rails each node drives (1 unless
+// a multi-rail topology is configured).
+func (c *Config) Rails() int {
+	if c.Topo != nil && c.Topo.Rails > 1 {
+		return c.Topo.Rails
+	}
+	return 1
 }
 
 // WireBytes returns the bytes actually put on the wire for a TCP payload

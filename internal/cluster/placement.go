@@ -29,13 +29,24 @@ type Placement struct {
 	nodes []int
 }
 
-// NewPlacement builds an n×p placement with the job's nodes scattered
-// round-robin across the machine's switches, validating against the
-// config.
+// NewPlacement builds an n×p placement, validating against the config.
+//
+// On a flat machine the job's nodes are scattered round-robin across
+// the switches, modelling a shared batch queue. On a hierarchical
+// topology that heuristic is a trap: dealing node i to switch i%s puts
+// every pair of adjacent ranks on different leaves, driving all traffic
+// across the bisection. There the placement fills leaf switches first
+// (consecutive logical nodes share a leaf), the layout schedulers with
+// topology awareness produce and the one locality studies assume.
 func NewPlacement(cfg *Config, nodes, perNode int) (Placement, error) {
 	pl, err := NewBlockPlacement(cfg, nodes, perNode)
 	if err != nil {
 		return pl, err
+	}
+	if cfg.Topo != nil {
+		// Physical node n already attaches to leaf n/LeafPorts, so the
+		// identity mapping is exactly leaf-first fill.
+		return pl, nil
 	}
 	s := cfg.NumSwitches()
 	pl.nodes = make([]int, nodes)

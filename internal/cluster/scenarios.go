@@ -10,20 +10,31 @@ import (
 
 // Scenario presets: named fault schedules for the simulated cluster.
 // Each preset samples its windows from a sim.SubSeed substream keyed by
-// the scenario name, so the same (seed, name, span) triple always yields
+// the scenario name, so the same (seed, name, env) triple always yields
 // the same schedule — perturbed sweeps stay bit-reproducible regardless
 // of worker count or evaluation order.
 
+// ScenarioEnv is the cluster shape a scenario's random targets are
+// drawn against: how many nodes the job uses, how many inter-switch
+// segments the machine has (the flat daisy-chain's stacking segments,
+// or a hierarchical topology's links), and the simulated span in
+// seconds the windows should cover.
+type ScenarioEnv struct {
+	Nodes    int
+	Segments int
+	Span     float64
+}
+
 // scenarioBuilders maps preset names to their constructors. Node and
 // segment targets are drawn from the same substream as the windows, so
-// a preset is a single deterministic function of (seed, span).
-var scenarioBuilders = map[string]func(rng *sim.RNG, nodes int, span float64) []faults.Rule{
+// a preset is a single deterministic function of (seed, env).
+var scenarioBuilders = map[string]func(rng *sim.RNG, env ScenarioEnv) []faults.Rule{
 	// degraded-uplink: one node's NIC renegotiates to a fraction of its
 	// nominal rate for most of the run — the classic half-duplex or
 	// failing-transceiver uplink.
-	"degraded-uplink": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
-		node := rng.Intn(nodes)
-		w := faults.Windows(rng, 1, span, 0.6*span, 0.9*span)
+	"degraded-uplink": func(rng *sim.RNG, env ScenarioEnv) []faults.Rule {
+		node := rng.Intn(env.Nodes)
+		w := faults.Windows(rng, 1, env.Span, 0.6*env.Span, 0.9*env.Span)
 		return []faults.Rule{{
 			Kind: faults.LinkDegrade, Start: w[0][0], End: w[0][1],
 			Target: node, Severity: 0.1,
@@ -31,10 +42,10 @@ var scenarioBuilders = map[string]func(rng *sim.RNG, nodes int, span float64) []
 	},
 	// noisy-node: OS-noise bursts triple one node's host CPU costs in
 	// several short windows (daemon wakeups, page-cache flushes).
-	"noisy-node": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
-		node := rng.Intn(nodes)
+	"noisy-node": func(rng *sim.RNG, env ScenarioEnv) []faults.Rule {
+		node := rng.Intn(env.Nodes)
 		var rules []faults.Rule
-		for _, w := range faults.Windows(rng, 4, span, 0.05*span, 0.15*span) {
+		for _, w := range faults.Windows(rng, 4, env.Span, 0.05*env.Span, 0.15*env.Span) {
 			rules = append(rules, faults.Rule{
 				Kind: faults.NodeSlow, Start: w[0], End: w[1],
 				Target: node, Severity: 3,
@@ -44,10 +55,10 @@ var scenarioBuilders = map[string]func(rng *sim.RNG, nodes int, span float64) []
 	},
 	// flaky-nic: one node's NIC goes dark in short outage windows; every
 	// transfer touching it rides the TCP retransmission path.
-	"flaky-nic": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
-		node := rng.Intn(nodes)
+	"flaky-nic": func(rng *sim.RNG, env ScenarioEnv) []faults.Rule {
+		node := rng.Intn(env.Nodes)
 		var rules []faults.Rule
-		for _, w := range faults.Windows(rng, 3, span, 0.02*span, 0.08*span) {
+		for _, w := range faults.Windows(rng, 3, env.Span, 0.02*env.Span, 0.08*env.Span) {
 			rules = append(rules, faults.Rule{
 				Kind: faults.NICOutage, Start: w[0], End: w[1], Target: node,
 			})
@@ -56,20 +67,28 @@ var scenarioBuilders = map[string]func(rng *sim.RNG, nodes int, span float64) []
 	},
 	// lossy-links: a cluster-wide elevated drop probability window — the
 	// shape of a congested or misconfigured switch dropping frames.
-	"lossy-links": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
-		w := faults.Windows(rng, 1, span, 0.3*span, 0.6*span)
+	"lossy-links": func(rng *sim.RNG, env ScenarioEnv) []faults.Rule {
+		w := faults.Windows(rng, 1, env.Span, 0.3*env.Span, 0.6*env.Span)
 		return []faults.Rule{{
 			Kind: faults.DropBoost, Start: w[0][0], End: w[0][1],
 			Target: faults.AllTargets, Severity: 0.02,
 		}}
 	},
-	// congested-backplane: the first stacking segment loses most of its
-	// capacity (failed matrix-card lane), squeezing cross-switch traffic.
-	"congested-backplane": func(rng *sim.RNG, nodes int, span float64) []faults.Rule {
-		w := faults.Windows(rng, 1, span, 0.5*span, 0.8*span)
+	// congested-backplane: one inter-switch segment loses most of its
+	// capacity (failed matrix-card lane on the flat stack, a degraded
+	// uplink or global link on a hierarchical fabric), squeezing
+	// cross-switch traffic. The segment is drawn from the machine's
+	// actual segment list, so the preset lands on a real target on any
+	// topology instead of always hitting flat segment 0.
+	"congested-backplane": func(rng *sim.RNG, env ScenarioEnv) []faults.Rule {
+		seg := 0
+		if env.Segments > 0 {
+			seg = rng.Intn(env.Segments)
+		}
+		w := faults.Windows(rng, 1, env.Span, 0.5*env.Span, 0.8*env.Span)
 		return []faults.Rule{{
 			Kind: faults.BackplaneDegrade, Start: w[0][0], End: w[0][1],
-			Target: 0, Severity: 0.25,
+			Target: seg, Severity: 0.25,
 		}}
 	},
 }
@@ -85,24 +104,29 @@ func ScenarioNames() []string {
 	return names
 }
 
-// Scenario builds the named preset's fault schedule for a cluster with
-// the given node count, sampling windows and targets from the substream
-// sim.SubSeed(seed, "faults/"+name) over a run of span simulated
-// seconds. Unknown names return an error listing the presets.
-func Scenario(name string, seed uint64, nodes int, span float64) (*faults.Schedule, error) {
+// Scenario builds the named preset's fault schedule for the given
+// cluster shape, sampling windows and targets from the substream
+// sim.SubSeed(seed, "faults/"+name) over a run of env.Span simulated
+// seconds. Unknown names return an error listing the presets, and the
+// schedule is checked with ValidateFor against the shape, so a preset
+// can never hand back a rule that binds nothing.
+func Scenario(name string, seed uint64, env ScenarioEnv) (*faults.Schedule, error) {
 	build, ok := scenarioBuilders[name]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown fault scenario %q (have %v)", name, ScenarioNames())
 	}
-	if nodes <= 0 {
-		return nil, fmt.Errorf("cluster: scenario %q needs nodes > 0, got %d", name, nodes)
+	if env.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: scenario %q needs nodes > 0, got %d", name, env.Nodes)
 	}
-	if span <= 0 {
-		return nil, fmt.Errorf("cluster: scenario %q needs span > 0, got %v", name, span)
+	if env.Segments < 0 {
+		return nil, fmt.Errorf("cluster: scenario %q needs segments >= 0, got %d", name, env.Segments)
+	}
+	if env.Span <= 0 {
+		return nil, fmt.Errorf("cluster: scenario %q needs span > 0, got %v", name, env.Span)
 	}
 	rng := sim.NewCellRNG(seed, "faults/"+name)
-	s := &faults.Schedule{Name: name, Rules: build(rng, nodes, span)}
-	if err := s.Validate(); err != nil {
+	s := &faults.Schedule{Name: name, Rules: build(rng, env)}
+	if err := s.ValidateFor(env.Nodes, env.Segments); err != nil {
 		return nil, fmt.Errorf("cluster: scenario %q: %w", name, err)
 	}
 	return s, nil

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// serializeLargeRun flattens everything a report promises to keep
+// byte-identical across worker counts.
+func serializeLargeRun(t *testing.T, rep *LargeRunReport) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(rep.Transcript)
+	fmt.Fprintf(&b, "makespan=%v windows=%d counters=%+v\n", rep.Makespan, rep.Windows, rep.Counters)
+	man, err := json.Marshal(rep.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(man)
+	b.WriteByte('\n')
+	if err := rep.Metrics.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func largeRunAt(t *testing.T, spec LargeRunSpec, workers int) string {
+	t.Helper()
+	spec.Workers = workers
+	rep, err := LargeRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serializeLargeRun(t, rep)
+}
+
+func TestLargeRunByteIdenticalAcrossWorkers(t *testing.T) {
+	// The run-level determinism gate: transcript, manifest, counters
+	// and merged metrics of a sharded run must not change a byte
+	// between worker counts 1, 2 and 4 — healthy and degraded.
+	degraded := &faults.Schedule{Name: "test-degraded", Rules: []faults.Rule{
+		{Kind: faults.DropBoost, Target: 3, Severity: 1, Start: 0, End: sim.TimeFromSeconds(0.01)},
+		{Kind: faults.BackplaneDegrade, Target: 0, Severity: 0.3, Start: 0, End: sim.TimeFromSeconds(0.05)},
+	}}
+	for _, tc := range []struct {
+		name string
+		spec LargeRunSpec
+	}{
+		{"fattree", LargeRunSpec{Topo: "fattree:64x16x4", Rounds: 2, Window: 2, Size: 4096, Seed: 9}},
+		{"fattree-faults", LargeRunSpec{Topo: "fattree:64x16x4", Rounds: 2, Window: 2, Size: 4096, Seed: 9, Faults: degraded}},
+		{"dragonfly-2rail", LargeRunSpec{Topo: "dragonfly:4x2x4+2rail", Rounds: 2, Window: 1, Size: 2048, Seed: 9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := largeRunAt(t, tc.spec, 1)
+			if !strings.Contains(serial, "leaf0 data=") {
+				t.Fatalf("transcript has no per-leaf lines:\n%s", serial)
+			}
+			for _, workers := range []int{2, 4} {
+				if got := largeRunAt(t, tc.spec, workers); got != serial {
+					t.Errorf("workers=%d output differs from serial\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+						workers, serial, workers, got)
+				}
+			}
+			if other := largeRunAt(t, withSeed(tc.spec, 10), 1); other == serial {
+				t.Error("different seeds produced identical reports")
+			}
+		})
+	}
+}
+
+func withSeed(s LargeRunSpec, seed uint64) LargeRunSpec {
+	s.Seed = seed
+	return s
+}
+
+func TestLargeRunReportContents(t *testing.T) {
+	spec := LargeRunSpec{Topo: "fattree:64x16x4", Rounds: 2, Window: 2, Size: 4096, Seed: 1}
+	rep, err := LargeRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Manifest
+	if m.Pattern != "windowed-ring" || m.Topology != "fattree-64x16x4" || m.Nodes != 64 || m.LPs != 5 {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.ClusterHash == "" || m.GoVersion == "" {
+		t.Error("manifest missing hash or toolchain")
+	}
+	// Every rank sends Rounds*Window data messages and Rounds acks.
+	wantData := uint64(64 * 2 * 2)
+	wantAcks := uint64(64 * 2)
+	if rep.Counters.Transfers != wantData+wantAcks {
+		t.Errorf("Transfers = %d, want %d", rep.Counters.Transfers, wantData+wantAcks)
+	}
+	if rep.Counters.CrossSwitch == 0 {
+		t.Error("ring across 4 leaves crossed no leaf boundary")
+	}
+	if rep.Windows == 0 || rep.Makespan == 0 {
+		t.Errorf("degenerate run: windows=%d makespan=%v", rep.Windows, rep.Makespan)
+	}
+	if v, ok := rep.Metrics.Counter("net", "transfers_total"); !ok || v != wantData+wantAcks {
+		t.Errorf("merged transfers_total = %d (ok=%v), want %d", v, ok, wantData+wantAcks)
+	}
+	// The manifest must not record the worker count anywhere: it is not
+	// part of the experiment's identity.
+	if strings.Contains(strings.ToLower(mustJSON(t, m)), "worker") {
+		t.Error("manifest leaks the worker count")
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestLargeRunValidation(t *testing.T) {
+	base := LargeRunSpec{Topo: "fattree:64x16x4", Rounds: 1, Window: 1, Size: 4096, Seed: 1}
+	bad := []LargeRunSpec{
+		{Topo: "nonsense", Rounds: 1, Window: 1, Size: 4096},
+		func(s LargeRunSpec) LargeRunSpec { s.Rounds = 0; return s }(base),
+		func(s LargeRunSpec) LargeRunSpec { s.Window = 0; return s }(base),
+		func(s LargeRunSpec) LargeRunSpec { s.Size = 0; return s }(base),
+		func(s LargeRunSpec) LargeRunSpec { s.Size = 64; return s }(base), // CtrlBytes collision
+		func(s LargeRunSpec) LargeRunSpec {
+			s.Faults = &faults.Schedule{Rules: []faults.Rule{
+				{Kind: faults.BackplaneDegrade, Target: 9999, Severity: 0.5, Start: 0, End: sim.TimeFromSeconds(1)},
+			}}
+			return s
+		}(base),
+	}
+	for i, spec := range bad {
+		if _, err := LargeRun(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		}
+	}
+	if _, err := LargeRun(base); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

@@ -102,7 +102,9 @@ func PerturbedSweep(cfg cluster.Config, p Params) (*PerturbedResult, error) {
 	// Scenario index 0 is the healthy baseline (nil schedule).
 	scheds := make([]*faults.Schedule, 1, len(names)+1)
 	for _, name := range names {
-		s, err := cluster.Scenario(name, p.Seed, perturbedFaultNodes, perturbedSpanSeconds)
+		s, err := cluster.Scenario(name, p.Seed, cluster.ScenarioEnv{
+			Nodes: perturbedFaultNodes, Segments: cfg.NumSegments(), Span: perturbedSpanSeconds,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -151,6 +151,39 @@ func (s *Schedule) Validate() error {
 	return nil
 }
 
+// ValidateFor checks the schedule against a concrete cluster shape:
+// beyond the per-rule checks, every node-targeted rule must bind at
+// least one of the cluster's nodes and every BackplaneDegrade rule at
+// least one inter-switch segment. A rule whose target does not exist
+// would otherwise be a silently-unmatched window — a perturbation that
+// perturbs nothing and quietly turns a degraded experiment into a
+// healthy one.
+func (s *Schedule) ValidateFor(nodes, segments int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s == nil {
+		return nil
+	}
+	for i, r := range s.Rules {
+		have, what := nodes, "node"
+		if r.Kind == BackplaneDegrade {
+			have, what = segments, "backplane segment"
+		}
+		if r.Target == AllTargets {
+			if have == 0 {
+				return fmt.Errorf("rule %d: %s targets every %s but the cluster has none", i, r.Kind, what)
+			}
+			continue
+		}
+		if r.Target >= have {
+			return fmt.Errorf("rule %d: %s binds no %s (target %d, cluster has %d)",
+				i, r.Kind, what, r.Target, have)
+		}
+	}
+	return nil
+}
+
 // LinkFactor returns the bandwidth multiplier of a node's NIC at time t:
 // 1 when healthy, the product of active LinkDegrade severities
 // otherwise, floored at 1% of nominal so service times stay finite.

@@ -202,3 +202,54 @@ func TestRuleString(t *testing.T) {
 		t.Errorf("unknown kind string = %q", KindName)
 	}
 }
+
+func TestValidateForBindingChecks(t *testing.T) {
+	sec := func(s float64) sim.Time { return sim.TimeFromSeconds(s) }
+	mk := func(k Kind, target int) *Schedule {
+		sev := 0.5
+		if k == NodeSlow {
+			sev = 2
+		}
+		return &Schedule{Name: "t", Rules: []Rule{{
+			Kind: k, Start: sec(0), End: sec(1), Target: target, Severity: sev,
+		}}}
+	}
+
+	// In-range targets pass.
+	if err := mk(BackplaneDegrade, 3).ValidateFor(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(LinkDegrade, 7).ValidateFor(8, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// A backplane rule whose segment does not exist binds nothing: the
+	// window would silently perturb nothing. Must be rejected.
+	if err := mk(BackplaneDegrade, 4).ValidateFor(8, 4); err == nil {
+		t.Fatal("segment 4 of 4 should fail")
+	} else if !strings.Contains(err.Error(), "binds no backplane segment") {
+		t.Errorf("error should say the rule binds no segment: %v", err)
+	}
+	// Same for node rules beyond the node count.
+	if err := mk(NodeSlow, 8).ValidateFor(8, 4); err == nil {
+		t.Fatal("node 8 of 8 should fail")
+	}
+	// AllTargets needs at least one target of the right kind to exist.
+	if err := mk(BackplaneDegrade, AllTargets).ValidateFor(8, 0); err == nil {
+		t.Fatal("all-segments rule on a segmentless machine should fail")
+	}
+	if err := mk(DropBoost, AllTargets).ValidateFor(8, 0); err != nil {
+		t.Fatalf("all-nodes rule should not care about segments: %v", err)
+	}
+
+	// Nil schedules and per-rule failures still flow through.
+	var nilSched *Schedule
+	if err := nilSched.ValidateFor(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	bad := mk(LinkDegrade, 0)
+	bad.Rules[0].Severity = 2
+	if err := bad.ValidateFor(8, 4); err == nil {
+		t.Fatal("per-rule validation should still run")
+	}
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// fatTreeWorld builds a serial world on a hierarchical fat-tree: the
+// MPI stack and the topology-aware network model working together.
+func fatTreeWorld(t *testing.T, spec string, seed uint64) (*World, *netsim.Network) {
+	t.Helper()
+	topo, nodes, err := cluster.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cluster.Perseus().WithTopology(topo, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.JitterSigma = 0
+	cfg.SpikeProb = 0
+	e := sim.NewEngine(seed)
+	net := netsim.New(e, cfg)
+	pl, err := cluster.NewPlacement(&cfg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(e, net, pl)
+	w.SetComputeModel(cluster.ComputeModel{})
+	return w, net
+}
+
+func TestFatTreeCrossLeafPingPong(t *testing.T) {
+	// Ranks 0 and 31 sit on the first and last leaf of a 4-leaf fat
+	// tree (placement fills leaves first), so their ping-pong must
+	// climb through a spine: the network has to count it cross-switch.
+	w, net := fatTreeWorld(t, "fattree:32x8x2", 1)
+	const last = 31
+	var rtt sim.Duration
+	w.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			start := c.Now()
+			c.Send(last, 1, 4096)
+			c.Recv(last, 2)
+			rtt = c.Now().Sub(start)
+		case last:
+			c.Recv(0, 1)
+			c.Send(0, 2, 4096)
+		}
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.CrossSwitch == 0 {
+		t.Error("cross-leaf ping-pong crossed no switch boundary")
+	}
+	if rtt <= 0 {
+		t.Errorf("round trip took %v", rtt)
+	}
+
+	// Same exchange within one leaf must be strictly faster: only the
+	// leaf's own fabric, no spine hops.
+	w2, net2 := fatTreeWorld(t, "fattree:32x8x2", 1)
+	var localRTT sim.Duration
+	w2.Launch(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			start := c.Now()
+			c.Send(1, 1, 4096)
+			c.Recv(1, 2)
+			localRTT = c.Now().Sub(start)
+		case 1:
+			c.Recv(0, 1)
+			c.Send(0, 2, 4096)
+		}
+	})
+	if _, err := w2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if net2.Stats().CrossSwitch != 0 {
+		t.Error("same-leaf exchange counted as cross-switch")
+	}
+	if localRTT >= rtt {
+		t.Errorf("same-leaf round trip %v not faster than cross-leaf %v", localRTT, rtt)
+	}
+}
+
+func TestFatTreeBarrierAllRanks(t *testing.T) {
+	// A full-machine barrier exercises the collective tree over every
+	// leaf of the topology.
+	w, _ := fatTreeWorld(t, "fattree:32x8x2", 2)
+	var reached [32]bool
+	w.Launch(func(c *Comm) {
+		c.Barrier()
+		reached[c.Rank()] = true
+	})
+	if _, err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range reached {
+		if !ok {
+			t.Errorf("rank %d never passed the barrier", r)
+		}
+	}
+}

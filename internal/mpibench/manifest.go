@@ -39,6 +39,11 @@ type Manifest struct {
 	Cluster     string `json:"cluster"`
 	ClusterHash string `json:"cluster_hash"`
 
+	// Topology names the hierarchical switch topology, empty for the
+	// flat daisy-chained machine. The hash above already covers the
+	// topology's full link list; the name is for humans.
+	Topology string `json:"topology,omitempty"`
+
 	// GoVersion is the toolchain that produced the result. Floating
 	// point in Go is specified, but library-level changes (math, sort)
 	// can still move bits between releases.
@@ -80,6 +85,9 @@ func newManifest(cfg *cluster.Config, spec Spec) Manifest {
 		Cluster:       cfg.Name,
 		ClusterHash:   ClusterHash(cfg),
 		GoVersion:     runtime.Version(),
+	}
+	if cfg.Topo != nil {
+		m.Topology = cfg.Topo.Name
 	}
 	if spec.Faults != nil {
 		m.Scenario = spec.Faults.Name

@@ -54,23 +54,37 @@ type Network struct {
 	cfg cluster.Config
 	e   *sim.Engine
 
-	nicTx  []*sim.Serializer // per-node NIC transmit engines
-	nicRx  []*sim.Serializer // per-node NIC receive engines
+	// rails is how many parallel NIC rails each node drives (1 on flat
+	// clusters). nicTx/nicRx are indexed node*rails+rail; a transfer
+	// rides rail (src+dst) mod rails, a deterministic spread that keeps
+	// both directions of a pair on one rail.
+	rails  int
+	nicTx  []*sim.Serializer // per-node, per-rail NIC transmit engines
+	nicRx  []*sim.Serializer // per-node, per-rail NIC receive engines
 	memBus []*sim.Serializer // per-node shared-memory copy engines
 
 	// fabrics model each switch's internal switching capacity. The Intel
 	// 510T's fabric ran at 2.1 Gbit/s — less than half of what 24
 	// full-duplex ports can offer — so a switch full of communicating
 	// nodes congests internally even before the stacking backplane is
-	// involved.
+	// involved. Under a hierarchical topology there is one fabric per
+	// switch of the tree, spines and routers included.
 	fabrics []*sim.Serializer
 
-	// segments model the stacking backplane as the daisy-chain the
-	// Intel 510T matrix cards form: segment i joins switch i and i+1,
-	// and a message spanning several switches consumes capacity on
-	// every segment along the way. This is what makes wide spans
-	// (the paper's 64×1 across three switches) congest first.
+	// segments model the inter-switch channels. On the flat cluster they
+	// are the stacking backplane daisy-chain the Intel 510T matrix cards
+	// form: segment i joins switch i and i+1, and a message spanning
+	// several switches consumes capacity on every segment along the way
+	// — what makes wide spans (the paper's 64×1 across three switches)
+	// congest first. Under a hierarchical topology, segment i is link i
+	// of the topology, with its own rate in segRate.
 	segments []*sim.Serializer
+	segRate  []float64 // per-segment bit rate (StackRate unless a link overrides)
+
+	// topo is the hierarchical topology, nil on flat clusters. Paths
+	// between leaves come precomputed from the topology; the flat walk
+	// builds its daisy-chain path into the xfer's scratch buffer.
+	topo *cluster.Topology
 
 	loss   *sim.RNG
 	jitter *sim.RNG
@@ -134,25 +148,24 @@ type xfer struct {
 
 	crossSwitch          bool
 	srcSwitch, dstSwitch int
-	stage                int
-	seg, segEnd, segStep int // backplane walk: current, final, direction
+	rail                 int
+
+	// path is the encoded hop walk (cluster.Topology encoding: >= 0 a
+	// segment index, < 0 a switch fabric as ^switchID) and pos the next
+	// hop to traverse. Topology paths are shared precomputed slices;
+	// the flat daisy-chain builds into pathBuf, which the pool reuses.
+	path    []int32
+	pos     int
+	pathBuf []int32
 
 	latency sim.Duration // intraNode: host-side delivery latency
 
-	fabricAt   func()                    // arrival at the ingress switch
-	stageNext  func()                    // one store-and-forward hop handed off
+	stepFn     func()                    // next store-and-forward hop of the walk
 	deliverFn  func(start, end sim.Time) // destination NIC finished receiving
 	retryFn    func()                    // RTO expired: run the next attempt
 	memDoneFn  func(start, end sim.Time) // intraNode: memory bus copy finished
 	memDeliver func()                    // intraNode: delivery after host latency
 }
-
-// Stages of the cross-fabric walk (the backplane state machine).
-const (
-	stageIngress = iota // traversing the source switch's fabric
-	stageSegment        // crossing stacking-backplane segments
-	stageEgress         // traversing the destination switch's fabric
-)
 
 // acquireXfer returns a pooled transfer state machine, creating (and
 // binding the callbacks of) a new one only when the pool is empty.
@@ -164,8 +177,7 @@ func (n *Network) acquireXfer() *xfer {
 		return t
 	}
 	t := &xfer{n: n}
-	t.fabricAt = t.enterFabric
-	t.stageNext = t.advance
+	t.stepFn = t.step
 	t.deliverFn = t.deliver
 	t.retryFn = t.reattempt
 	t.memDoneFn = t.memDone
@@ -188,25 +200,47 @@ func New(e *sim.Engine, cfg cluster.Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	rails := cfg.Rails()
 	n := &Network{
 		cfg:    cfg,
 		e:      e,
-		nicTx:  make([]*sim.Serializer, cfg.Nodes),
-		nicRx:  make([]*sim.Serializer, cfg.Nodes),
+		rails:  rails,
+		topo:   cfg.Topo,
+		nicTx:  make([]*sim.Serializer, cfg.Nodes*rails),
+		nicRx:  make([]*sim.Serializer, cfg.Nodes*rails),
 		memBus: make([]*sim.Serializer, cfg.Nodes),
 		loss:   e.RNG("netsim.loss"),
 		jitter: e.RNG("netsim.jitter"),
 	}
-	for i := range n.nicTx {
-		n.nicTx[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.tx", i))
-		n.nicRx[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.rx", i))
+	for i := 0; i < cfg.Nodes; i++ {
+		for r := 0; r < rails; r++ {
+			txName, rxName := fmt.Sprintf("node%d.tx", i), fmt.Sprintf("node%d.rx", i)
+			if rails > 1 {
+				txName = fmt.Sprintf("node%d.rail%d.tx", i, r)
+				rxName = fmt.Sprintf("node%d.rail%d.rx", i, r)
+			}
+			n.nicTx[i*rails+r] = sim.NewSerializer(e, txName)
+			n.nicRx[i*rails+r] = sim.NewSerializer(e, rxName)
+		}
 		n.memBus[i] = sim.NewSerializer(e, fmt.Sprintf("node%d.mem", i))
 	}
 	for i := 0; i < cfg.NumSwitches(); i++ {
 		n.fabrics = append(n.fabrics, sim.NewSerializer(e, fmt.Sprintf("switch%d.fabric", i)))
 	}
-	for i := 0; i < cfg.NumSwitches()-1; i++ {
-		n.segments = append(n.segments, sim.NewSerializer(e, fmt.Sprintf("stack%d-%d", i, i+1)))
+	if n.topo != nil {
+		for i, l := range n.topo.Links {
+			n.segments = append(n.segments, sim.NewSerializer(e, fmt.Sprintf("link%d(sw%d-sw%d)", i, l.A, l.B)))
+			rate := l.Rate
+			if rate <= 0 {
+				rate = cfg.StackRate
+			}
+			n.segRate = append(n.segRate, rate)
+		}
+	} else {
+		for i := 0; i < cfg.NumSwitches()-1; i++ {
+			n.segments = append(n.segments, sim.NewSerializer(e, fmt.Sprintf("stack%d-%d", i, i+1)))
+			n.segRate = append(n.segRate, cfg.StackRate)
+		}
 	}
 
 	reg := e.Metrics()
@@ -239,9 +273,12 @@ func (n *Network) Config() cluster.Config { return n.cfg }
 
 // SetFaults installs a fault schedule. Pass nil to restore the healthy
 // cluster. The schedule must not be mutated while the simulation runs.
-// It panics on an invalid schedule, which is a programming error.
+// It panics on an invalid schedule — including one whose rules bind no
+// node or segment of this cluster — which is a programming error:
+// a silently-unmatched fault window would run the healthy model while
+// claiming to be degraded.
 func (n *Network) SetFaults(s *faults.Schedule) {
-	if err := s.Validate(); err != nil {
+	if err := s.ValidateFor(n.cfg.Nodes, len(n.segments)); err != nil {
 		panic(err)
 	}
 	n.sched = s
@@ -299,6 +336,10 @@ func (n *Network) transfer(srcNode, dstNode, payload int, done func(TransferStat
 	n.mTransfers.Inc()
 	t := n.acquireXfer()
 	t.srcNode, t.dstNode, t.payload = srcNode, dstNode, payload
+	t.rail = 0
+	if n.rails > 1 {
+		t.rail = (srcNode + dstNode) % n.rails
+	}
 	t.start = n.e.Now()
 	t.done, t.recv = done, recv
 	if srcNode == dstNode {
@@ -370,7 +411,7 @@ func (t *xfer) attempt() {
 	n.mTxBytes[t.srcNode].Add(uint64(wire))
 	n.mTxFrames[t.srcNode].Add(uint64(cfg.Frames(t.payload)))
 
-	txEnd := n.nicTx[t.srcNode].Enqueue(txService, nil)
+	txEnd := n.nicTx[t.srcNode*n.rails+t.rail].Enqueue(txService, nil)
 	txStart := txEnd.Add(-txService)
 
 	// The first frame must be fully received by the switch before it can
@@ -379,61 +420,65 @@ func (t *xfer) attempt() {
 
 	t.srcSwitch, t.dstSwitch = cfg.SwitchOf(t.srcNode), cfg.SwitchOf(t.dstNode)
 	t.crossSwitch = t.srcSwitch != t.dstSwitch
-	t.stage = stageIngress
-	n.e.At(txStart.Add(sfDelay), t.fabricAt)
+	t.buildPath()
+	n.e.At(txStart.Add(sfDelay), t.stepFn)
 }
 
-// enterFabric starts the ingress switch fabric traversal. The 510T's
-// 2.1 Gbit/s fabric is shared by all 24 ports, so a busy switch congests
-// internally even before the backplane is involved.
+// buildPath resolves the hop walk for this attempt. Hierarchical
+// topologies hand back their precomputed leaf-pair path; the flat
+// cluster rebuilds the daisy-chain walk — ingress fabric, the stacking
+// segments between the two switches in travel order (segment i joins
+// switch i and i+1), egress fabric — into the xfer's pooled buffer.
 //
 //detlint:hotpath
-func (t *xfer) enterFabric() {
-	if t.n.traverseStage(t.n.fabrics[t.srcSwitch], -1, t.payload, true, t.stageNext) {
-		t.n.retry(t)
+func (t *xfer) buildPath() {
+	t.pos = 0
+	if topo := t.n.topo; topo != nil {
+		t.path = topo.PathHops(t.srcSwitch, t.dstSwitch)
+		return
 	}
+	p := t.pathBuf[:0]
+	p = append(p, cluster.FabricHop(t.srcSwitch))
+	if t.crossSwitch {
+		if t.srcSwitch < t.dstSwitch {
+			for s := t.srcSwitch; s < t.dstSwitch; s++ {
+				p = append(p, int32(s))
+			}
+		} else {
+			for s := t.srcSwitch - 1; s >= t.dstSwitch; s-- {
+				p = append(p, int32(s))
+			}
+		}
+		p = append(p, cluster.FabricHop(t.dstSwitch))
+	}
+	t.pathBuf = p
+	t.path = p
 }
 
-// advance is called each time a store-and-forward hop hands the message
-// off un-dropped, and moves the walk to the next stage: ingress fabric,
-// then (cross-switch only) each stacking segment in travel order — the
-// chain whose saturation produces the paper's Figure 4 tails — then the
-// egress fabric, then the destination port.
+// step traverses the next hop of the walk — a switch fabric (the 510T's
+// 2.1 Gbit/s shared fabric, or a spine/router of a hierarchical tree)
+// or an inter-switch segment, the chain whose saturation produces the
+// paper's Figure 4 tails — and is re-entered on each un-dropped
+// store-and-forward handoff until the path ends at the destination
+// port.
 //
 //detlint:hotpath
-func (t *xfer) advance() {
+func (t *xfer) step() {
 	n := t.n
-	switch t.stage {
-	case stageIngress:
-		if !t.crossSwitch {
-			t.afterFabric()
-			return
-		}
-		// Segment i joins switch i and i+1, so the path from switch a to
-		// switch b uses segments min(a,b) .. max(a,b)-1, in travel order.
-		t.stage = stageSegment
-		if t.srcSwitch < t.dstSwitch {
-			t.seg, t.segEnd, t.segStep = t.srcSwitch, t.dstSwitch-1, 1
-		} else {
-			t.seg, t.segEnd, t.segStep = t.srcSwitch-1, t.dstSwitch, -1
-		}
-		if n.traverseStage(n.segments[t.seg], t.seg, t.payload, false, t.stageNext) {
-			n.retry(t)
-		}
-	case stageSegment:
-		if t.seg == t.segEnd {
-			t.stage = stageEgress
-			if n.traverseStage(n.fabrics[t.dstSwitch], -1, t.payload, true, t.stageNext) {
-				n.retry(t)
-			}
-			return
-		}
-		t.seg += t.segStep
-		if n.traverseStage(n.segments[t.seg], t.seg, t.payload, false, t.stageNext) {
-			n.retry(t)
-		}
-	case stageEgress:
+	if t.pos >= len(t.path) {
 		t.afterFabric()
+		return
+	}
+	h := t.path[t.pos]
+	t.pos++
+	if sw, ok := cluster.IsFabricHop(h); ok {
+		if n.traverseStage(n.fabrics[sw], -1, t.payload, true, t.stepFn) {
+			n.retry(t)
+		}
+		return
+	}
+	if n.traverseStage(n.segments[h], int(h), t.payload, false, t.stepFn) {
+		n.retry(t)
 	}
 }
 
@@ -447,7 +492,7 @@ func (t *xfer) afterFabric() {
 	// Drop if the port's buffers have overflowed. The congestion check
 	// runs first so healthy runs consume the loss stream identically
 	// whether or not a schedule is installed.
-	if n.dropped(n.nicRx[t.dstNode].Backlog(), cfg.NICBufferDelay()) {
+	if n.dropped(n.nicRx[t.dstNode*n.rails+t.rail].Backlog(), cfg.NICBufferDelay()) {
 		n.mDropCong.Inc()
 		n.retry(t)
 		return
@@ -467,7 +512,7 @@ func (t *xfer) afterFabric() {
 	}
 	wire := cfg.WireBytes(t.payload)
 	rxService := sim.DurationFromSeconds(float64(wire) * 8 / (cfg.LinkRate * lf))
-	n.nicRx[t.dstNode].Enqueue(rxService, t.deliverFn)
+	n.nicRx[t.dstNode*n.rails+t.rail].Enqueue(rxService, t.deliverFn)
 }
 
 //detlint:hotpath
@@ -526,7 +571,7 @@ func (n *Network) traverseStage(s *sim.Serializer, seg, payload int, perFrame bo
 	}
 	rate := n.cfg.StackRate
 	if seg >= 0 {
-		rate *= n.sched.StackFactor(seg, n.e.Now())
+		rate = n.segRate[seg] * n.sched.StackFactor(seg, n.e.Now())
 	}
 	serviceSec := float64(n.cfg.WireBytes(payload)) * 8 / rate
 	frame := n.cfg.WireBytes(payload)
@@ -633,12 +678,29 @@ func (n *Network) UtilizationSince(start sim.Time) Utilization {
 	return u
 }
 
-// TxBacklog reports the transmit queue depth of a node's NIC; tests and
-// the MPI library's flow-control heuristics use it.
-func (n *Network) TxBacklog(node int) sim.Duration { return n.nicTx[node].Backlog() }
+// TxBacklog reports the deepest transmit queue across a node's NIC
+// rails; tests and the MPI library's flow-control heuristics use it.
+func (n *Network) TxBacklog(node int) sim.Duration {
+	var worst sim.Duration
+	for r := 0; r < n.rails; r++ {
+		if b := n.nicTx[node*n.rails+r].Backlog(); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
 
-// RxBacklog reports the receive-side queue depth of a node's NIC.
-func (n *Network) RxBacklog(node int) sim.Duration { return n.nicRx[node].Backlog() }
+// RxBacklog reports the deepest receive-side queue across a node's NIC
+// rails.
+func (n *Network) RxBacklog(node int) sim.Duration {
+	var worst sim.Duration
+	for r := 0; r < n.rails; r++ {
+		if b := n.nicRx[node*n.rails+r].Backlog(); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
 
 // StackBacklog reports the deepest backplane-segment queue right now.
 func (n *Network) StackBacklog() sim.Duration {

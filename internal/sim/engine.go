@@ -262,6 +262,18 @@ func (e *Engine) blockedProcs() []string {
 // events are removed eagerly, so the count is exact.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextEventTime returns the timestamp of the earliest pending event, or
+// Forever when the queue is empty. Shards uses it to pick conservative
+// window boundaries without disturbing the queue.
+//
+//detlint:hotpath
+func (e *Engine) NextEventTime() Time {
+	if len(e.events) == 0 {
+		return Forever
+	}
+	return e.events[0].at
+}
+
 // eventLess orders the heap by timestamp, breaking ties by scheduling
 // order so simultaneous events run FIFO.
 func eventLess(a, b *event) bool {
