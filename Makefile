@@ -101,6 +101,14 @@ determinism:
 		-faults congested-backplane > /tmp/largerun-faults-sharded.txt
 	diff /tmp/largerun-faults-serial.txt /tmp/largerun-faults-sharded.txt
 	@echo "determinism: 2048-node sharded runs (transcript, manifest, metrics; healthy and faulted) are byte-identical at 1 vs 4 shards"
+	$(GO) run ./cmd/mpibench -pattern rail,fan,dense -topo fattree:128x32x4 -pgk 32x4x2 -window 2 \
+		-sizes 4096 -reps 6 -warmup 2 -seed 7 -estimates -parallel 1 -summary=false \
+		-out /tmp/mpibench-pattern-serial.json > /dev/null
+	$(GO) run ./cmd/mpibench -pattern rail,fan,dense -topo fattree:128x32x4 -pgk 32x4x2 -window 2 \
+		-sizes 4096 -reps 6 -warmup 2 -seed 7 -estimates -parallel 8 -summary=false \
+		-out /tmp/mpibench-pattern-parallel.json > /dev/null
+	diff /tmp/mpibench-pattern-serial.json /tmp/mpibench-pattern-parallel.json
+	@echo "determinism: Rail/Fan/Dense pattern sweeps (distributions, estimates, manifests) are byte-identical serial vs parallel"
 
 # profile captures CPU and allocation pprof profiles of the quick repro
 # sweep into profiles/ (gitignored). Inspect with

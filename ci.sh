@@ -21,8 +21,10 @@
 #      the CLI, then the serial-vs-parallel determinism diff of the
 #      full perturbed sweep (figures and metrics); the determinism step
 #      also covers the sharded large-run mode (a 2048-node fat tree at
-#      1 vs 4 shards, healthy and faulted), and a fat-tree smoke run
-#      below keeps the hierarchical-topology CLI path exercised
+#      1 vs 4 shards, healthy and faulted) and the Rail/Fan/Dense
+#      pattern sweep (serial vs parallel); the fat-tree, dragonfly and
+#      pattern smoke runs below keep the hierarchical-topology and
+#      group-to-group CLI paths exercised (docs/PATTERNS.md)
 #   7. the pprof smoke: `make profile` must produce non-empty CPU and
 #      allocation profiles (tooling stays usable; timing not gated)
 #   8. the benchmark CI-overlap gate against BENCH_baseline.json:
@@ -45,6 +47,9 @@ make determinism-faults
 # fat-tree smoke: the sharded large-run CLI end to end on a fresh topology
 go run ./cmd/run -app largerun -topo fattree:512x16x4 -shards 0 -rounds 1 -window 2 -msg-size 4096 > /dev/null
 go run ./cmd/run -app largerun -topo dragonfly:8x4x8+2rail -shards 0 -rounds 1 -window 1 -msg-size 2048 > /dev/null
+# pattern smoke: the group-to-group engine end to end on both topology families
+go run ./cmd/mpibench -pattern dense -topo dragonfly:4x2x4 -pgk 8x4x2 -direction omni -window 2 -sizes 4096 -reps 6 -warmup 2 -summary=false
+go run ./cmd/run -app patternrun -topo fattree:512x16x4 -pattern rail -pgk 16x4x2 -rounds 1 -window 2 -msg-size 4096 -shards 0 > /dev/null
 make profile
 test -s profiles/cpu.pprof
 test -s profiles/allocs.pprof

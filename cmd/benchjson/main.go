@@ -352,6 +352,17 @@ func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 		return nil, err
 	}
 
+	if err := timed("pattern", func() error {
+		bw, err := measurePatternBandwidth(seed)
+		if err != nil {
+			return err
+		}
+		m["pattern_dense_bw"] = bw
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	if err := timed("collectives", func() error {
 		pc := p
 		pc.MaxNodes = 16
@@ -375,6 +386,35 @@ func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 	}
 
 	return m, nil
+}
+
+// measurePatternBandwidth runs the Dense group-to-group pattern on a
+// fat tree (docs/PATTERNS.md) and returns the achieved bandwidth — a
+// figure metric, seed-deterministic and worker-independent; the wall
+// metric around it watches the pattern engine's execution cost.
+func measurePatternBandwidth(seed uint64) (float64, error) {
+	topo, nodes, err := cluster.ParseTopology("fattree:128x32x4")
+	if err != nil {
+		return 0, err
+	}
+	pcfg, err := cluster.Perseus().WithTopology(topo, nodes)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := cluster.NewPlacement(&pcfg, 128, 1)
+	if err != nil {
+		return 0, err
+	}
+	res, err := mpibench.RunPattern(pcfg, mpibench.PatternSpec{
+		Pattern: mpibench.PatternDense, P: 32, G: 4, K: 2,
+		Direction: mpibench.Unidirectional, Window: 2,
+		Placement: pl, Sizes: []int{16384},
+		Rounds: 8, WarmUp: 2, Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Points[0].Bandwidth, nil
 }
 
 // firstNonFinite scans in sorted order so the metric named in the

@@ -323,3 +323,21 @@ func TestIsWall(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasurePatternBandwidth(t *testing.T) {
+	a, err := measurePatternBandwidth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 {
+		t.Fatalf("bandwidth = %v, want > 0", a)
+	}
+	// The metric is a figure metric: deterministic given the seed.
+	b, err := measurePatternBandwidth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("pattern_dense_bw not deterministic: %v vs %v", a, b)
+	}
+}

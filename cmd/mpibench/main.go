@@ -10,12 +10,27 @@
 // cmd/pevpm can use as its performance database. With -summary the
 // per-size statistics print to stdout as well.
 //
+// -topo retargets the simulated machine onto a hierarchical topology
+// (cluster.ParseTopology grammar, docs/TOPOLOGY.md), e.g.
+// "fattree:2048x32x8" or "dragonfly:8x4x8+2rail"; placements then fill
+// leaf switches first and the manifest's cluster hash covers the full
+// topology.
+//
+// -pattern switches to the group-to-group pattern engine
+// (docs/PATTERNS.md): Rail/Fan/Dense matrices parameterised by -pgk
+// and -direction, driven in windowed rounds of -window in-flight
+// messages per pair. Comma-separated -pattern, -pgk and -window values
+// sweep their cross product:
+//
+//	mpibench -pattern dense -topo fattree:2048x32x8 -pgk 32x4x2 \
+//	         -direction omni -window 2,4 -sizes 4096,65536
+//
 // -estimates attaches confidence intervals and robust estimators to
 // every size; -adapt-relwidth enables adaptive stopping (batches of
 // repetitions until the CI on the chosen quantile is narrower than the
 // target relative width — see docs/BENCHMARKING.md). -parallel spreads
-// the placements over worker goroutines; results are bit-identical at
-// any worker count.
+// the placements (or pattern cells) over worker goroutines; results
+// are bit-identical at any worker count.
 package main
 
 import (
@@ -33,8 +48,9 @@ import (
 func main() {
 	op := flag.String("op", "MPI_Isend", "operation to benchmark")
 	configs := flag.String("config", "2x1", "comma-separated nxp placements, e.g. 2x1,64x2")
+	topoFlag := flag.String("topo", "", "hierarchical topology spec, e.g. fattree:2048x32x8 (empty = flat machine)")
 	sizesArg := flag.String("sizes", "0,64,256,1024,4096,16384,65536", "comma-separated message sizes (bytes)")
-	reps := flag.Int("reps", 300, "measured repetitions per size")
+	reps := flag.Int("reps", 300, "measured repetitions (pattern mode: rounds) per size")
 	warm := flag.Int("warmup", 20, "warm-up repetitions")
 	binWidth := flag.Float64("binwidth", 5e-6, "histogram bin width (seconds)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -45,6 +61,10 @@ func main() {
 	metricsProm := flag.String("metrics-prom", "", "write the merged instrument snapshot as Prometheus text to this file")
 	parallel := flag.Int("parallel", 0, "worker goroutines for multi-config sweeps (0 or 1 = serial)")
 	estimates := flag.Bool("estimates", false, "attach confidence intervals and robust estimators per size")
+	pattern := flag.String("pattern", "", "group-to-group pattern mode: rail, fan, dense (comma-separated sweeps)")
+	pgk := flag.String("pgk", "32x4x2", "pattern shape(s) pxgxk, comma-separated")
+	direction := flag.String("direction", "uni", "pattern direction: uni, bi or omni")
+	windowArg := flag.String("window", "4", "pattern window depth(s), comma-separated")
 	adaptRelWidth := flag.Float64("adapt-relwidth", 0, "adaptive stopping: target relative CI half-width (0 = fixed repetitions)")
 	adaptQuantile := flag.Float64("adapt-quantile", 0, "adaptive stopping: quantile the CI bounds (default median)")
 	adaptLevel := flag.Float64("adapt-level", 0, "adaptive stopping: confidence level (default 0.95)")
@@ -53,10 +73,47 @@ func main() {
 	flag.Parse()
 
 	cfg := cluster.Perseus()
+	if *topoFlag != "" {
+		topo, nodes, err := cluster.ParseTopology(*topoFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg, err = cfg.WithTopology(topo, nodes); err != nil {
+			fatal(err)
+		}
+	}
 	sizes, err := parseInts(*sizesArg)
 	if err != nil {
 		fatal(err)
 	}
+	var agg *metrics.Aggregate
+	if *metricsOut != "" || *metricsProm != "" {
+		agg = metrics.NewAggregate()
+	}
+
+	if *pattern != "" {
+		runPatterns(cfg, patternArgs{
+			patterns:  *pattern,
+			pgk:       *pgk,
+			direction: *direction,
+			windows:   *windowArg,
+			config:    *configs,
+			configSet: flagProvided("config"),
+			sizes:     sizes,
+			rounds:    *reps,
+			warm:      *warm,
+			binWidth:  *binWidth,
+			seed:      *seed,
+			perfect:   *perfect,
+			workers:   *parallel,
+			estimates: *estimates,
+			out:       *out,
+			summary:   *summary,
+		}, agg)
+		writeMetrics(agg, *metricsOut, *metricsProm)
+		return
+	}
+
 	var placements []cluster.Placement
 	for _, s := range strings.Split(*configs, ",") {
 		pl, err := cluster.ParsePlacement(&cfg, strings.TrimSpace(s))
@@ -85,10 +142,6 @@ func main() {
 			Batch:      *adaptBatch,
 			MaxBatches: *adaptMaxBatches,
 		}
-	}
-	var agg *metrics.Aggregate
-	if *metricsOut != "" || *metricsProm != "" {
-		agg = metrics.NewAggregate()
 	}
 	set, err := mpibench.RunSweepObserved(cfg, spec, placements, agg)
 	if err != nil {
@@ -130,21 +183,150 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *out)
 	}
-	if agg != nil {
-		snap := agg.Snapshot()
-		if *metricsOut != "" {
-			if err := snap.SaveJSON(*metricsOut); err != nil {
+	writeMetrics(agg, *metricsOut, *metricsProm)
+}
+
+// patternArgs carries the pattern-mode flag values.
+type patternArgs struct {
+	patterns, pgk, direction, windows string
+	config                            string
+	configSet                         bool
+	sizes                             []int
+	rounds, warm                      int
+	binWidth                          float64
+	seed                              uint64
+	perfect                           bool
+	workers                           int
+	estimates                         bool
+	out                               string
+	summary                           bool
+}
+
+// runPatterns executes the pattern sweep: the cross product of
+// -pattern × -pgk × -window cells on one placement.
+func runPatterns(cfg cluster.Config, a patternArgs, agg *metrics.Aggregate) {
+	dir, err := mpibench.ParseDirection(a.direction)
+	if err != nil {
+		fatal(err)
+	}
+	windows, err := parseInts(a.windows)
+	if err != nil {
+		fatal(err)
+	}
+	var cells []mpibench.PatternCell
+	maxRanks := 0
+	for _, name := range strings.Split(a.patterns, ",") {
+		name = strings.TrimSpace(name)
+		for _, shape := range strings.Split(a.pgk, ",") {
+			p, g, k, err := parsePGK(strings.TrimSpace(shape))
+			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote %s\n", *metricsOut)
-		}
-		if *metricsProm != "" {
-			if err := snap.SavePrometheus(*metricsProm); err != nil {
-				fatal(err)
+			if p*g > maxRanks {
+				maxRanks = p * g
 			}
-			fmt.Printf("wrote %s\n", *metricsProm)
+			for _, w := range windows {
+				cells = append(cells, mpibench.PatternCell{
+					Pattern: name, P: p, G: g, K: k, Window: w, Direction: dir,
+				})
+			}
 		}
 	}
+	// The placement defaults to exactly the pattern's ranks, one per
+	// node; an explicit -config overrides it.
+	var pl cluster.Placement
+	if a.configSet {
+		first := strings.TrimSpace(strings.Split(a.config, ",")[0])
+		if pl, err = cluster.ParsePlacement(&cfg, first); err != nil {
+			fatal(err)
+		}
+	} else if pl, err = cluster.NewPlacement(&cfg, maxRanks, 1); err != nil {
+		fatal(err)
+	}
+	base := mpibench.PatternSpec{
+		Placement:     pl,
+		Sizes:         a.sizes,
+		Rounds:        a.rounds,
+		WarmUp:        a.warm,
+		BinWidth:      a.binWidth,
+		Seed:          a.seed,
+		PerfectClocks: a.perfect,
+		Workers:       a.workers,
+		Estimates:     a.estimates,
+	}
+	set, err := mpibench.RunPatternSweepObserved(cfg, base, cells, agg)
+	if err != nil {
+		fatal(err)
+	}
+	if a.summary {
+		for _, res := range set.Results {
+			fmt.Printf("\n%s on %s %s (%d pairs, %d samples/size)\n",
+				res.Key(), res.Cluster, res.Placement, res.Pairs, res.Samples)
+			fmt.Printf("%10s %12s %12s %12s %12s\n",
+				"bytes", "round µs", "p99 µs", "slowest µs", "MB/s")
+			for _, pt := range res.Points {
+				fmt.Printf("%10d %12.1f %12.1f %12.1f %12.1f\n",
+					pt.Size, pt.MaxHist.Mean()*1e6, pt.MaxHist.Quantile(0.99)*1e6,
+					pt.MaxHist.Max()*1e6, pt.Bandwidth/1e6)
+				if pt.Est != nil {
+					fmt.Printf("%10s per-rank mean %.1f [%.1f, %.1f]µs  median %.1fµs  MAD %.2fµs\n",
+						"", pt.Est.Mean.Point*1e6, pt.Est.Mean.Lo*1e6, pt.Est.Mean.Hi*1e6,
+						pt.Est.Median*1e6, pt.Est.MAD*1e6)
+				}
+			}
+		}
+	}
+	if a.out != "" {
+		if err := set.SaveFile(a.out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", a.out)
+	}
+}
+
+// flagProvided reports whether a flag was set on the command line.
+func flagProvided(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func writeMetrics(agg *metrics.Aggregate, metricsOut, metricsProm string) {
+	if agg == nil {
+		return
+	}
+	snap := agg.Snapshot()
+	if metricsOut != "" {
+		if err := snap.SaveJSON(metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
+	}
+	if metricsProm != "" {
+		if err := snap.SavePrometheus(metricsProm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsProm)
+	}
+}
+
+// parsePGK parses a pattern shape "pxgxk", e.g. "32x4x2".
+func parsePGK(s string) (p, g, k int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad pattern shape %q (want pxgxk, e.g. 32x4x2)", s)
+	}
+	dims := make([]int, 3)
+	for i, part := range parts {
+		if dims[i], err = strconv.Atoi(strings.TrimSpace(part)); err != nil {
+			return 0, 0, 0, fmt.Errorf("bad pattern shape %q: %v", s, err)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 func parseInts(s string) ([]int, error) {

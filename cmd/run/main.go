@@ -22,6 +22,16 @@
 //
 //	run -app largerun -topo fattree:2048x32x8 -shards 4
 //	run -app largerun -topo dragonfly:8x4x8 -shards 2 -faults congested-backplane
+//
+// -app patternrun drives a group-to-group pattern (docs/PATTERNS.md)
+// through the same sharded executor — Rail/Fan/Dense between -pgk
+// groups, windowed acked rounds, byte-identical at every -shards
+// value. -app patternstudy runs the predicted-vs-simulated makespan
+// study: calibrate a PEVPM pattern database on each topology, predict
+// the validation makespan, and check the intervals overlap:
+//
+//	run -app patternrun -topo fattree:2048x32x8 -pattern dense -pgk 32x4x2
+//	run -app patternstudy -seed 42 -shards 4
 package main
 
 import (
@@ -29,11 +39,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/mpi"
+	"repro/internal/mpibench"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -41,7 +54,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "jacobi", "workload: jacobi, fft, taskfarm, summa, largerun")
+	app := flag.String("app", "jacobi", "workload: jacobi, fft, taskfarm, summa, largerun, patternrun, patternstudy")
 	topoSpec := flag.String("topo", "fattree:2048x32x8", "largerun: hierarchical topology spec (docs/TOPOLOGY.md)")
 	shards := flag.Int("shards", 0, "largerun: worker threads executing the sharded run (0 = all cores; never changes output)")
 	rounds := flag.Int("rounds", 2, "largerun: send windows per rank")
@@ -59,11 +72,26 @@ func main() {
 	faultsSpan := flag.Float64("faults-span", 0.5, "seconds the fault windows are drawn over")
 	metricsOut := flag.String("metrics", "", "write the run's instrument snapshot as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the run's instrument snapshot as Prometheus text to this file")
+	pattern := flag.String("pattern", "dense", "patternrun: group-to-group pattern (rail, fan, dense)")
+	pgk := flag.String("pgk", "32x4x2", "patternrun: pattern shape pxgxk")
+	direction := flag.String("direction", "uni", "patternrun: direction (uni, bi, omni)")
+	calRounds := flag.Int("cal-rounds", 0, "patternstudy: calibration rounds (0 = default)")
+	valRounds := flag.Int("val-rounds", 0, "patternstudy: validation rounds (0 = default)")
+	predictReps := flag.Int("predict-reps", 0, "patternstudy: Monte-Carlo replications (0 = default)")
 	flag.Parse()
 
 	if *app == "largerun" {
 		runLarge(*topoSpec, *shards, *rounds, *window, *msgSize, *seed,
 			*faultsFlag, *faultsSpan, *manifestOut, *metricsOut, *metricsProm)
+		return
+	}
+	if *app == "patternrun" {
+		runPattern(*topoSpec, *pattern, *pgk, *direction, *shards, *rounds, *window,
+			*msgSize, *seed, *faultsFlag, *faultsSpan, *manifestOut, *metricsOut, *metricsProm)
+		return
+	}
+	if *app == "patternstudy" {
+		runPatternStudy(*calRounds, *valRounds, *predictReps, *seed, *shards)
 		return
 	}
 
@@ -264,6 +292,125 @@ func runLarge(topoSpec string, shards, rounds, window, msgSize int, seed uint64,
 		}
 		fmt.Printf("wrote %s\n", metricsProm)
 	}
+}
+
+// runPattern executes one group-to-group pattern through the sharded
+// executor. Like runLarge, everything printed is part of the
+// determinism contract across -shards values.
+func runPattern(topoSpec, pattern, pgk, direction string, shards, rounds, window, msgSize int,
+	seed uint64, faultsName string, faultsSpan float64, manifestOut, metricsOut, metricsProm string) {
+	p, g, k, err := parsePGK(pgk)
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := mpibench.ParseDirection(direction)
+	if err != nil {
+		fatal(err)
+	}
+	spec := experiments.PatternRunSpec{
+		Topo:      topoSpec,
+		Pattern:   pattern,
+		P:         p,
+		G:         g,
+		K:         k,
+		Direction: dir,
+		Rounds:    rounds,
+		Window:    window,
+		Size:      msgSize,
+		Seed:      seed,
+		Workers:   shards,
+	}
+	if faultsName != "" {
+		topo, nodes, err := cluster.ParseTopology(topoSpec)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := cluster.Scenario(faultsName, seed, cluster.ScenarioEnv{
+			Nodes: nodes, Segments: topo.NumSegments(), Span: faultsSpan,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		spec.Faults = s
+		fmt.Printf("fault scenario %s over [0, %.2fs):\n", s.Name, faultsSpan)
+		for _, r := range s.Rules {
+			fmt.Printf("  %s\n", r.String())
+		}
+	}
+	rep, err := experiments.PatternRun(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Transcript)
+	if manifestOut != "" {
+		data, err := json.MarshalIndent(rep.Manifest, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(manifestOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", manifestOut)
+	}
+	if metricsOut != "" {
+		if err := rep.Metrics.SaveJSON(metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
+	}
+	if metricsProm != "" {
+		if err := rep.Metrics.SavePrometheus(metricsProm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsProm)
+	}
+}
+
+// runPatternStudy runs the predicted-vs-simulated pattern makespan
+// study over the default cells (Rail/Fan/Dense on a fat tree and a
+// dragonfly) and prints one row per cell.
+func runPatternStudy(calRounds, valRounds, predictReps int, seed uint64, workers int) {
+	rows, err := experiments.PatternStudy(experiments.PatternStudyParams{
+		CalRounds: calRounds,
+		ValRounds: valRounds,
+		Reps:      predictReps,
+		Seed:      seed,
+		Workers:   workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-18s %9s %26s %26s %7s\n",
+		"topology", "pattern", "MB/s", "predicted ms", "simulated ms", "agree")
+	agreeAll := true
+	for _, row := range rows {
+		fmt.Printf("%-22s %-18s %9.1f %8.2f [%7.2f, %7.2f] %8.2f [%7.2f, %7.2f] %7v\n",
+			row.Topo, fmt.Sprintf("%s:p%dg%dk%d", row.Pattern, row.P, row.G, row.K),
+			row.Bandwidth/1e6,
+			row.Predicted.Point*1e3, row.Predicted.Lo*1e3, row.Predicted.Hi*1e3,
+			row.Simulated.Point*1e3, row.Simulated.Lo*1e3, row.Simulated.Hi*1e3,
+			row.Agree)
+		agreeAll = agreeAll && row.Agree
+	}
+	if !agreeAll {
+		fatal(fmt.Errorf("pattern study: predicted and simulated makespans disagree"))
+	}
+	fmt.Printf("all %d cells: predicted and simulated makespan intervals overlap\n", len(rows))
+}
+
+// parsePGK parses a pattern shape "pxgxk", e.g. "32x4x2".
+func parsePGK(s string) (p, g, k int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad pattern shape %q (want pxgxk, e.g. 32x4x2)", s)
+	}
+	dims := make([]int, 3)
+	for i, part := range parts {
+		if dims[i], err = strconv.Atoi(strings.TrimSpace(part)); err != nil {
+			return 0, 0, 0, fmt.Errorf("bad pattern shape %q: %v", s, err)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 func fatal(err error) {

@@ -134,8 +134,8 @@ func FatTree(nodes, leafPorts, spines, rails int) (*Topology, error) {
 	if nodes <= 0 || leafPorts <= 0 || spines <= 0 {
 		return nil, fmt.Errorf("cluster: fat-tree %dx%dx%d invalid", nodes, leafPorts, spines)
 	}
-	if rails == 0 {
-		rails = 1
+	if rails < 1 {
+		return nil, fmt.Errorf("cluster: fat-tree rail count %d (want >= 1)", rails)
 	}
 	leaves := (nodes + leafPorts - 1) / leafPorts
 	t := &Topology{
@@ -186,8 +186,8 @@ func Dragonfly(groups, routersPerGroup, nodesPerRouter, rails int) (*Topology, e
 	if groups <= 0 || routersPerGroup <= 0 || nodesPerRouter <= 0 {
 		return nil, fmt.Errorf("cluster: dragonfly %dx%dx%d invalid", groups, routersPerGroup, nodesPerRouter)
 	}
-	if rails == 0 {
-		rails = 1
+	if rails < 1 {
+		return nil, fmt.Errorf("cluster: dragonfly rail count %d (want >= 1)", rails)
 	}
 	leaves := groups * routersPerGroup
 	t := &Topology{
@@ -271,8 +271,8 @@ func Tree(leafPorts, rails int, degrees ...int) (*Topology, error) {
 	if leafPorts <= 0 || len(degrees) == 0 {
 		return nil, fmt.Errorf("cluster: tree needs leaf ports and at least one level")
 	}
-	if rails == 0 {
-		rails = 1
+	if rails < 1 {
+		return nil, fmt.Errorf("cluster: tree rail count %d (want >= 1)", rails)
 	}
 	// Level widths, leaves first: width[0] = prod(degrees), each level
 	// above divides by its fan-out.

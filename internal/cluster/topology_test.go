@@ -157,11 +157,35 @@ func TestParseTopology(t *testing.T) {
 	for _, bad := range []string{
 		"", "fattree", "fattree:2048", "mesh:4x4", "fattree:ax32x8",
 		"fattree:2048x32x8+0rail", "fattree:2048x32x8+xrail", "fattree:2048x32x8+2lanes",
+		"fattree:2048x32x8+-2rail", "dragonfly:4x4x8+0rail", "tree:4x4+0rail",
 		"fattree:0x32x8", "dragonfly:4x4", "tree:4",
 	} {
 		if _, _, err := ParseTopology(bad); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}
+	}
+}
+
+// Satellite regression: the generators used to silently normalise
+// rails == 0 to 1, so a caller who reached FatTree/Dragonfly/Tree
+// directly with a non-positive rail count got a single-rail fabric
+// instead of an error. Non-positive rail counts must be rejected at
+// the generator layer, not papered over.
+func TestGeneratorsRejectNonPositiveRails(t *testing.T) {
+	for _, rails := range []int{0, -2} {
+		if _, err := FatTree(64, 8, 4, rails); err == nil {
+			t.Errorf("FatTree with rails=%d should fail", rails)
+		}
+		if _, err := Dragonfly(4, 4, 8, rails); err == nil {
+			t.Errorf("Dragonfly with rails=%d should fail", rails)
+		}
+		if _, err := Tree(4, rails, 4, 2); err == nil {
+			t.Errorf("Tree with rails=%d should fail", rails)
+		}
+	}
+	// rails == 1 stays valid (no default needed).
+	if _, err := FatTree(64, 8, 4, 1); err != nil {
+		t.Errorf("FatTree with rails=1: %v", err)
 	}
 }
 

@@ -22,6 +22,13 @@ const (
 	RuleUnconsumed    = "unconsumed-message" // message never received by finalize
 	RuleWildcardRace  = "wildcard-race"      // AnySource receive with several candidates
 	RuleDeadlock      = "deadlock"           // rank blocked forever
+
+	// RulePatternMatrix flags a group-to-group pattern matrix pair that
+	// could never execute: a rank outside the placement, a self-pair, or
+	// a non-positive message count. Reported by mpibench's pattern
+	// validation before any engine spins up, so a bad matrix is a clean
+	// error instead of a mid-run peer-range panic.
+	RulePatternMatrix = "pattern-matrix"
 )
 
 // Finding is one structured runtime diagnostic. internal/mpilint

@@ -1,0 +1,344 @@
+package mpibench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestBuildPatternShapes(t *testing.T) {
+	// Rail uni: k pairs per group pair, g-1 group pairs.
+	m, err := BuildPattern(PatternRail, 4, 3, 2, Unidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pairs) != 2*2 {
+		t.Fatalf("rail uni pairs = %d, want 4", len(m.Pairs))
+	}
+	// Rail keeps participants on their own NIC: pair i -> peer i.
+	if m.Pairs[0] != (Pair{Src: 0, Dst: 4, Count: 1}) || m.Pairs[1] != (Pair{Src: 1, Dst: 5, Count: 1}) {
+		t.Fatalf("rail edges wrong: %+v", m.Pairs[:2])
+	}
+
+	// Fan uni: one sender per group pair, k receivers.
+	m, err = BuildPattern(PatternFan, 4, 2, 3, Unidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Pairs {
+		if p.Src != 0 {
+			t.Fatalf("fan sender should be the group lead, got %+v", p)
+		}
+	}
+	if len(m.Pairs) != 3 {
+		t.Fatalf("fan uni pairs = %d, want 3", len(m.Pairs))
+	}
+
+	// Dense omni: k*k pairs per ordered group pair.
+	m, err = BuildPattern(PatternDense, 8, 3, 2, Omnidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2 * 2 * 2; len(m.Pairs) != want {
+		t.Fatalf("dense omni pairs = %d, want %d", len(m.Pairs), want)
+	}
+
+	// Bidirectional doubles the unidirectional edge set.
+	uni, _ := BuildPattern(PatternDense, 8, 3, 2, Unidirectional)
+	bi, _ := BuildPattern(PatternDense, 8, 3, 2, Bidirectional)
+	if len(bi.Pairs) != 2*len(uni.Pairs) {
+		t.Fatalf("dense bi pairs = %d, want %d", len(bi.Pairs), 2*len(uni.Pairs))
+	}
+
+	// Bad shapes are rejected.
+	if _, err := BuildPattern(PatternRail, 4, 1, 2, Unidirectional); err == nil {
+		t.Error("g=1 should fail")
+	}
+	if _, err := BuildPattern(PatternRail, 4, 2, 5, Unidirectional); err == nil {
+		t.Error("k>p should fail")
+	}
+	if _, err := BuildPattern("mesh", 4, 2, 2, Unidirectional); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if _, err := BuildPattern(PatternRail, 4, 2, 2, "diag"); err == nil {
+		t.Error("unknown direction should fail")
+	}
+}
+
+func TestMatrixAddMergesDuplicates(t *testing.T) {
+	var m Matrix
+	m.Add(0, 1, 1)
+	m.Add(0, 1, 2)
+	m.Add(1, 0, 1)
+	if len(m.Pairs) != 2 || m.Pairs[0].Count != 3 {
+		t.Fatalf("merge failed: %+v", m.Pairs)
+	}
+	if m.MessagesPerWindow() != 4 {
+		t.Fatalf("MessagesPerWindow = %d", m.MessagesPerWindow())
+	}
+}
+
+// Satellite regression: a matrix naming a rank outside the placement
+// (or a self-pair) used to be discoverable only as a peer-range panic
+// deep inside internal/mpi once the engine was already running. It must
+// be rejected by validation, as mpilint-style findings, before any
+// engine spins up.
+func TestPatternValidateRejectsBadMatrix(t *testing.T) {
+	cfg := cluster.Perseus()
+	pl, err := cluster.NewPlacement(&cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		m    Matrix
+		want string
+	}{
+		{"out-of-range receiver", Matrix{Pairs: []Pair{{Src: 0, Dst: 99, Count: 1}}}, "outside"},
+		{"out-of-range sender", Matrix{Pairs: []Pair{{Src: -1, Dst: 1, Count: 1}}}, "outside"},
+		{"self-pair", Matrix{Pairs: []Pair{{Src: 2, Dst: 2, Count: 1}}}, "self-pair"},
+		{"zero count", Matrix{Pairs: []Pair{{Src: 0, Dst: 1, Count: 0}}}, "count"},
+	}
+	for _, tc := range bad {
+		fs := tc.m.Findings(pl.NumProcs())
+		if len(fs) != 1 || fs[0].Rule != mpi.RulePatternMatrix || fs[0].Severity != mpi.SeverityError {
+			t.Errorf("%s: findings = %+v", tc.name, fs)
+		}
+		spec := PatternSpec{Pattern: PatternCustom, Matrix: tc.m, Placement: pl, Seed: 1}
+		if _, err := RunPattern(cfg, spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: RunPattern error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A pattern bigger than its placement is caught before the matrix.
+	spec := PatternSpec{Pattern: PatternDense, P: 4, G: 4, K: 2, Placement: pl, Seed: 1}
+	if _, err := RunPattern(cfg, spec); err == nil {
+		t.Error("16-rank pattern on a 4-rank placement should fail")
+	}
+}
+
+// patternTestCluster builds the fat-tree world the determinism tests
+// run on: 128 nodes of 32-port leaves, one rank per node, so pattern
+// group size p = 32 aligns groups with leaf switches.
+func patternTestCluster(t *testing.T, spec string) (cluster.Config, cluster.Placement) {
+	t.Helper()
+	topo, nodes, err := cluster.ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cluster.Perseus().WithTopology(topo, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := cluster.NewPlacement(&cfg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, pl
+}
+
+// Satellite: the Dense (p=32, g=4, k=2) sweep must be byte-identical at
+// 1 vs 8 workers, healthy and under congested-backplane.
+func TestPatternSweepDeterminism(t *testing.T) {
+	cfg, pl := patternTestCluster(t, "fattree:128x32x4")
+	cells := []PatternCell{
+		{Pattern: PatternRail, P: 32, G: 4, K: 2},
+		{Pattern: PatternFan, P: 32, G: 4, K: 2},
+		{Pattern: PatternDense, P: 32, G: 4, K: 2},
+	}
+	base := PatternSpec{
+		Placement: pl,
+		Sizes:     []int{4096},
+		Rounds:    6,
+		WarmUp:    2,
+		Window:    2,
+		Estimates: true,
+		Seed:      7,
+	}
+	for _, scenario := range []string{"", "congested-backplane"} {
+		s := base
+		if scenario != "" {
+			sched, err := cluster.Scenario(scenario, 11, cluster.ScenarioEnv{
+				Nodes: cfg.Nodes, Segments: cfg.NumSegments(), Span: 1.0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Faults = sched
+		}
+		var blobs [][]byte
+		for _, workers := range []int{1, 8} {
+			s.Workers = workers
+			set, err := RunPatternSweep(cfg, s, cells)
+			if err != nil {
+				t.Fatalf("scenario %q workers %d: %v", scenario, workers, err)
+			}
+			var buf bytes.Buffer
+			if err := set.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, buf.Bytes())
+		}
+		if !bytes.Equal(blobs[0], blobs[1]) {
+			t.Errorf("scenario %q: sweep output differs between 1 and 8 workers", scenario)
+		}
+	}
+}
+
+func TestPatternRunMeasures(t *testing.T) {
+	cfg, pl := patternTestCluster(t, "dragonfly:4x2x4")
+	spec := PatternSpec{
+		Pattern:   PatternDense,
+		P:         8, // routersPerGroup × nodesPerRouter: groups = dragonfly groups
+		G:         4,
+		K:         2,
+		Direction: Omnidirectional,
+		Window:    2,
+		Placement: pl,
+		Sizes:     []int{1024, 65536},
+		Rounds:    8,
+		WarmUp:    2,
+		Estimates: true,
+		Seed:      3,
+	}
+	res, err := RunPattern(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 4*3*2*2 {
+		t.Errorf("pairs = %d, want 48", res.Pairs)
+	}
+	small, _ := res.PointFor(1024)
+	large, _ := res.PointFor(65536)
+	if small.Hist.Count() == 0 || large.Hist.Count() == 0 {
+		t.Fatal("empty distributions")
+	}
+	if small.MaxHist.Mean() >= large.MaxHist.Mean() {
+		t.Errorf("64KB rounds (%v) should be slower than 1KB rounds (%v)",
+			large.MaxHist.Mean(), small.MaxHist.Mean())
+	}
+	if small.Bandwidth <= 0 || large.Bandwidth <= 0 {
+		t.Error("bandwidth not computed")
+	}
+	// The slowest participant bounds the average one.
+	if large.MaxHist.Mean() < large.Hist.Mean() {
+		t.Error("round completion cannot beat the per-rank mean")
+	}
+	if small.Est == nil || small.Est.Mean.Hi <= small.Est.Mean.Lo {
+		t.Errorf("estimates missing or degenerate: %+v", small.Est)
+	}
+	if res.Manifest.Topology != "dragonfly-4x2x4" {
+		t.Errorf("manifest topology = %q", res.Manifest.Topology)
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	for s, want := range map[string]Direction{
+		"uni": Unidirectional, "bi": Bidirectional, "omni": Omnidirectional,
+	} {
+		got, err := ParseDirection(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDirection(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDirection("diag"); err == nil {
+		t.Error("unknown direction should fail")
+	}
+}
+
+func TestMatrixMaxRank(t *testing.T) {
+	var m Matrix
+	if m.MaxRank() != -1 {
+		t.Errorf("empty matrix MaxRank = %d, want -1", m.MaxRank())
+	}
+	m.Add(3, 7, 1)
+	m.Add(9, 2, 1)
+	if m.MaxRank() != 9 {
+		t.Errorf("MaxRank = %d, want 9", m.MaxRank())
+	}
+}
+
+// PatternSet round-trip: Add replaces same-key results, Find retrieves
+// by key, and SaveFile/LoadPatternFile reproduce the set byte for byte.
+func TestPatternSetRoundTrip(t *testing.T) {
+	cfg := cluster.Perseus()
+	pl, err := cluster.NewPlacement(&cfg, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PatternSpec{
+		Pattern: PatternRail, P: 4, G: 2, K: 2,
+		Placement: pl, Sizes: []int{1024},
+		Rounds: 3, WarmUp: 1, Seed: 2,
+	}
+	res, err := RunPattern(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &PatternSet{Cluster: cfg.Name}
+	set.Add(res)
+	set.Add(res) // same key replaces, not appends
+	if len(set.Results) != 1 {
+		t.Fatalf("Add should replace same-key results, got %d", len(set.Results))
+	}
+	if _, ok := set.Find(res.Key()); !ok {
+		t.Fatalf("Find(%q) missed", res.Key())
+	}
+	if _, ok := set.Find("dense:p9g9k9:w1:uni"); ok {
+		t.Error("Find on an absent key should miss")
+	}
+	if _, ok := res.PointFor(4096); ok {
+		t.Error("PointFor on an unmeasured size should miss")
+	}
+
+	path := t.TempDir() + "/patterns.json"
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPatternFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := set.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("set does not survive a save/load round trip")
+	}
+	if _, err := LoadPatternFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+// Satellite regression: the manifest's cluster hash must cover the
+// topology spec — the same pattern on a different fabric (or rail
+// count) is a different experiment.
+func TestPatternManifestHashCoversTopology(t *testing.T) {
+	flat := cluster.Perseus()
+	hashes := map[string]string{"flat": ClusterHash(&flat)}
+	for _, spec := range []string{"fattree:128x32x4", "fattree:128x32x4+2rail", "dragonfly:4x2x4"} {
+		topo, nodes, err := cluster.ParseTopology(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := cluster.Perseus().WithTopology(topo, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[spec] = ClusterHash(&cfg)
+	}
+	seen := map[string]string{}
+	for name, h := range hashes {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("cluster hash of %q and %q collide: %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}

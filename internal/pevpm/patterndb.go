@@ -1,0 +1,171 @@
+package pevpm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpibench"
+	"repro/internal/stats"
+)
+
+// PatternKey identifies one measured group-to-group pattern cell: the
+// pattern name, its (p, g, k) shape, the window depth and direction.
+// It is the lookup key of a PatternDB, mirroring how EmpiricalDB keys
+// on (op, placement).
+type PatternKey struct {
+	Pattern   string
+	P, G, K   int
+	Window    int
+	Direction mpibench.Direction
+}
+
+// KeyOf extracts the PatternKey a result was measured under.
+func KeyOf(r *mpibench.PatternResult) PatternKey {
+	return PatternKey{
+		Pattern: r.Pattern, P: r.P, G: r.G, K: r.K,
+		Window: r.Window, Direction: r.Direction,
+	}
+}
+
+func (k PatternKey) String() string {
+	return fmt.Sprintf("%s:p%dg%dk%d:w%d:%s", k.Pattern, k.P, k.G, k.K, k.Window, k.Direction)
+}
+
+// PatternDB is the per-pattern performance database: for every
+// measured pattern cell, the distribution of the *round completion
+// time* (the per-round slowest participant) per message size. Where
+// EmpiricalDB prices individual messages under scoreboard contention,
+// PatternDB prices whole structured exchanges — the group-to-group
+// contention on inter-leaf and inter-group links is baked into the
+// measured distribution, which is what makes Dense makespans across
+// fabric boundaries predictable at all.
+type PatternDB struct {
+	Cluster string
+
+	// entries stay sorted by key string; no map anywhere, so iteration
+	// and lookup order are deterministic (the detlint contract).
+	entries []patternEntry
+}
+
+type patternEntry struct {
+	key   PatternKey
+	sizes []int
+	round []*stats.Histogram // per size, frozen round-completion dists
+}
+
+// NewPatternDB builds a database from a pattern benchmark set. Every
+// result contributes one keyed entry; histograms are frozen so
+// concurrent Monte-Carlo evaluations can share the database.
+func NewPatternDB(set *mpibench.PatternSet) (*PatternDB, error) {
+	db := &PatternDB{Cluster: set.Cluster}
+	for _, r := range set.Results {
+		e := patternEntry{key: KeyOf(r)}
+		for _, pt := range r.Points {
+			if pt.MaxHist == nil || pt.MaxHist.Count() == 0 {
+				return nil, fmt.Errorf("pevpm: empty round distribution for %s size %d", r.Key(), pt.Size)
+			}
+			e.sizes = append(e.sizes, pt.Size)
+			e.round = append(e.round, pt.MaxHist)
+		}
+		if len(e.sizes) == 0 {
+			return nil, fmt.Errorf("pevpm: pattern result %s has no sizes", r.Key())
+		}
+		if !sort.IntsAreSorted(e.sizes) {
+			sort.Sort(&patternBySize{&e})
+		}
+		for _, h := range e.round {
+			h.Freeze()
+		}
+		db.entries = append(db.entries, e)
+	}
+	if len(db.entries) == 0 {
+		return nil, fmt.Errorf("pevpm: pattern set is empty")
+	}
+	sort.Slice(db.entries, func(i, j int) bool {
+		return db.entries[i].key.String() < db.entries[j].key.String()
+	})
+	return db, nil
+}
+
+type patternBySize struct{ e *patternEntry }
+
+func (s *patternBySize) Len() int           { return len(s.e.sizes) }
+func (s *patternBySize) Less(i, j int) bool { return s.e.sizes[i] < s.e.sizes[j] }
+func (s *patternBySize) Swap(i, j int) {
+	s.e.sizes[i], s.e.sizes[j] = s.e.sizes[j], s.e.sizes[i]
+	s.e.round[i], s.e.round[j] = s.e.round[j], s.e.round[i]
+}
+
+// Keys lists the measured pattern cells in deterministic order.
+func (db *PatternDB) Keys() []PatternKey {
+	out := make([]PatternKey, len(db.entries))
+	for i, e := range db.entries {
+		out[i] = e.key
+	}
+	return out
+}
+
+func (db *PatternDB) entry(key PatternKey) (*patternEntry, error) {
+	for i := range db.entries {
+		if db.entries[i].key == key {
+			return &db.entries[i], nil
+		}
+	}
+	return nil, fmt.Errorf("pevpm: pattern %s not in database", key)
+}
+
+// SampleRound draws one round-completion time for a pattern at a
+// message size, blending the bracketing measured sizes' quantile
+// functions with a single shared uniform (the EmpiricalDB scheme).
+func (db *PatternDB) SampleRound(r stats.Rand, key PatternKey, size int) (float64, error) {
+	e, err := db.entry(key)
+	if err != nil {
+		return 0, err
+	}
+	u := r.Float64()
+	return blendSize(e, size, func(h *stats.Histogram) float64 { return h.Quantile(u) }), nil
+}
+
+// MeanRound blends the measured mean round-completion times.
+func (db *PatternDB) MeanRound(key PatternKey, size int) (float64, error) {
+	e, err := db.entry(key)
+	if err != nil {
+		return 0, err
+	}
+	return blendSize(e, size, (*stats.Histogram).Mean), nil
+}
+
+func blendSize(e *patternEntry, size int, f func(h *stats.Histogram) float64) float64 {
+	lo, hi, w := bracket(e.sizes, size)
+	v := f(e.round[lo])
+	if lo == hi {
+		return v
+	}
+	return v*(1-w) + f(e.round[hi])*w
+}
+
+// PredictMakespan predicts the makespan of rounds consecutive windowed
+// rounds of a pattern at one message size: reps independent Monte-Carlo
+// replications each sum rounds draws from the measured round
+// distribution, and the Student-t interval over the replication sums is
+// the prediction. The caller supplies the RNG (a sim.SubSeed substream)
+// so predictions are bit-identical at any worker count.
+func (db *PatternDB) PredictMakespan(r stats.Rand, key PatternKey, size, rounds, reps int, level float64) (stats.Interval, error) {
+	if rounds <= 0 || reps < 2 {
+		return stats.Interval{}, fmt.Errorf("pevpm: predict wants rounds > 0 and reps >= 2, got %d/%d", rounds, reps)
+	}
+	e, err := db.entry(key)
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	var sum stats.Summary
+	for rep := 0; rep < reps; rep++ {
+		total := 0.0
+		for i := 0; i < rounds; i++ {
+			u := r.Float64()
+			total += blendSize(e, size, func(h *stats.Histogram) float64 { return h.Quantile(u) })
+		}
+		sum.Add(total)
+	}
+	return stats.StudentCI(sum, level), nil
+}
