@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint detlint staticcheck coverage ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile
+.PHONY: all build vet test race lint detlint staticcheck coverage ci clean bench bench-check bench-baseline determinism faults-smoke determinism-faults profile service-gate serve-smoke
 
 all: build
 
@@ -109,6 +109,23 @@ determinism:
 		-out /tmp/mpibench-pattern-parallel.json > /dev/null
 	diff /tmp/mpibench-pattern-serial.json /tmp/mpibench-pattern-parallel.json
 	@echo "determinism: Rail/Fan/Dense pattern sweeps (distributions, estimates, manifests) are byte-identical serial vs parallel"
+
+# service-gate starts a real pevpmd prediction server on an ephemeral
+# port and replays the committed golden requests against it: repeated
+# and concurrent identical requests must return byte-identical bodies,
+# the second request must be a response-cache hit, and every reply must
+# match its committed golden (cmd/pevpmd/testdata). Regenerate goldens
+# after a deliberate response-schema change with
+# `./scripts/service_gate.sh -update-golden` — and say so in the PR.
+service-gate:
+	./scripts/service_gate.sh
+
+# serve-smoke is the load half of the service gate: N concurrent mixed
+# requests (SERVICE_SMOKE_N, default 32) against a fresh server, with
+# duplicate requests asserted byte-identical and a cache-hit-rate +
+# per-stage latency table written to GITHUB_STEP_SUMMARY in CI.
+serve-smoke:
+	./scripts/service_gate.sh -smoke-only
 
 # profile captures CPU and allocation pprof profiles of the quick repro
 # sweep into profiles/ (gitignored). Inspect with

@@ -33,6 +33,12 @@
 #      disjoint in the regression direction, after calibration
 #      normalisation) — see docs/BENCHMARKING.md
 #   9. the coverage gate against scripts/coverage_floor.txt
+#  10. the service gate: a real pevpmd prediction server on an
+#      ephemeral port, the committed golden requests replayed against
+#      it (repeated and concurrent identical requests byte-identical,
+#      second request a response-cache hit, bodies matching the
+#      committed goldens), then a concurrent load smoke whose duplicate
+#      requests must dedupe to identical bytes (docs/SERVICE.md)
 set -eux
 
 go vet ./...
@@ -55,3 +61,4 @@ test -s profiles/cpu.pprof
 test -s profiles/allocs.pprof
 make bench-check
 make coverage
+make service-gate

@@ -38,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/mpibench"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -363,6 +365,10 @@ func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 		return nil, err
 	}
 
+	if err := measureService(m, timed, seed, workers); err != nil {
+		return nil, err
+	}
+
 	if err := timed("collectives", func() error {
 		pc := p
 		pc.MaxNodes = 16
@@ -386,6 +392,94 @@ func measureOnce(seed uint64, workers int) (map[string]float64, error) {
 	}
 
 	return m, nil
+}
+
+// measureService drives the prediction service in-process: one cold
+// request (lint → database fit → Monte-Carlo prediction → encode) and
+// one identical cached request that must replay from the response cache
+// without re-running prediction. service_predict_wall_s and
+// service_cached_wall_s land under the CI-overlap wall gate, and the
+// cached path is additionally asserted strictly faster than the cold
+// path in-process — the cache serving slower than computing would be a
+// correctness bug, not noise. The predicted mean makespan is the
+// figure metric: seed-deterministic and worker-independent.
+func measureService(m map[string]float64, timed func(string, func() error) error, seed uint64, workers int) error {
+	svc := service.New(service.Config{Workers: workers})
+	defer svc.Close()
+
+	req, err := json.Marshal(service.Request{
+		Model: "PEVPM Param bytes = 1024\n" +
+			"PEVPM Loop iterations = 2\n" +
+			"PEVPM {\n" +
+			"PEVPM   Serial time = 0.001\n" +
+			"PEVPM   Message type = MPI_Isend\n" +
+			"PEVPM   &       size = bytes\n" +
+			"PEVPM   &       from = procnum\n" +
+			"PEVPM   &       to = (procnum + 1) % numprocs\n" +
+			"PEVPM   Message type = MPI_Recv\n" +
+			"PEVPM   &       size = bytes\n" +
+			"PEVPM   &       from = (procnum + numprocs - 1) % numprocs\n" +
+			"PEVPM   &       to = procnum\n" +
+			"PEVPM }\n",
+		Procs: 8,
+		Seed:  seed,
+		Runs:  8,
+		Bench: service.BenchSpec{
+			Sizes:       []int{0, 1024},
+			Placements:  []string{"2x1", "8x1"},
+			Repetitions: 10,
+			WarmUp:      4,
+			SyncProbes:  4,
+			Seed:        1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := timed("service_predict", func() error {
+		res := svc.HandleRequest(context.Background(), req)
+		if res.Status != 200 {
+			return fmt.Errorf("service: status %d: %s", res.Status, res.Body)
+		}
+		if res.Cache != "miss" {
+			return fmt.Errorf("service: cold request reported cache %q", res.Cache)
+		}
+		var resp service.Response
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			return err
+		}
+		m["service_predict_mean_s"] = resp.Prediction.Mean
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := timed("service_cached", func() error {
+		res := svc.HandleRequest(context.Background(), req)
+		if res.Status != 200 {
+			return fmt.Errorf("service: cached status %d", res.Status)
+		}
+		if res.Cache != "hit" {
+			return fmt.Errorf("service: repeat request reported cache %q, want hit", res.Cache)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	st := svc.Stats()
+	if st.Caches["response"].Hits < 1 {
+		return fmt.Errorf("service: response cache reported %d hits after a cached request", st.Caches["response"].Hits)
+	}
+	if st.Predictions != 1 {
+		return fmt.Errorf("service: %d predictions executed for 2 identical requests, want 1", st.Predictions)
+	}
+	if m["service_cached_wall_s"] >= m["service_predict_wall_s"] {
+		return fmt.Errorf("service: cached wall %.6fs not strictly below uncached %.6fs — the response cache is not serving",
+			m["service_cached_wall_s"], m["service_predict_wall_s"])
+	}
+	return nil
 }
 
 // measurePatternBandwidth runs the Dense group-to-group pattern on a

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPCacheMissThenHit(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2})
+	req := mustJSON(t, testRequest())
+
+	r1, b1 := post(t, srv.URL, req)
+	if r1.StatusCode != 200 {
+		t.Fatalf("first: %d: %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	hash := r1.Header.Get("X-Request-Hash")
+	if hash == "" {
+		t.Fatal("no X-Request-Hash header")
+	}
+
+	r2, b2 := post(t, srv.URL, req)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if r2.Header.Get("X-Request-Hash") != hash {
+		t.Fatal("hash changed between identical requests")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("bodies differ between miss and hit")
+	}
+	if got := s.met.counterValue("predictions_total"); got != 1 {
+		t.Fatalf("predictions_total = %d, want 1", got)
+	}
+}
+
+func TestHTTPMalformedModelReturns400WithFindings(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	req := testRequest()
+	req.Model = oobModel
+	resp, body := post(t, srv.URL, mustJSON(t, req))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("400 body is not structured JSON: %v", err)
+	}
+	if len(er.Findings) == 0 {
+		t.Fatalf("400 body carries no findings: %s", body)
+	}
+}
+
+func TestHTTPOversizedBodyReturns413(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 512})
+	big := testRequest()
+	big.Model = ringModel + strings.Repeat("# padding padding padding\n", 100)
+	resp, body := post(t, srv.URL, mustJSON(t, big))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2})
+	req := mustJSON(t, testRequest())
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(req))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+	if got := s.met.counterValue("predictions_total"); got != 1 {
+		t.Fatalf("predictions_total = %d, want 1 — concurrent identical requests must coalesce", got)
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	post(t, srv.URL, mustJSON(t, testRequest()))
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"service_requests_total",
+		"service_cache_events_total",
+		"service_stage_latency_us",
+		"service_predictions_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPStatsEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	req := mustJSON(t, testRequest())
+	post(t, srv.URL, req)
+	post(t, srv.URL, req)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Caches["response"].Hits != 1 {
+		t.Fatalf("response cache hits = %d, want 1: %+v", st.Caches["response"].Hits, st)
+	}
+	if st.Predictions != 1 || st.Requests < 2 {
+		t.Fatalf("stats implausible: %+v", st)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}

@@ -10,7 +10,10 @@
 # package with a floor entry — or the repository total — drops more than
 # one point below its floor, so coverage can only ratchet down
 # deliberately (improve it, then -update and commit the new floor).
-# Packages without tests produce no profile entries and are not gated.
+# A package that produces coverage but has no floor entry also fails:
+# new packages must be added to the floor with -update, or they would
+# ship ungated forever. Packages without tests produce no profile
+# entries and are not gated.
 #
 # When GITHUB_STEP_SUMMARY is set (GitHub Actions), the per-package
 # delta table is appended there as markdown.
@@ -18,9 +21,15 @@ set -eu
 cd "$(dirname "$0")/.."
 
 profile="${COVERPROFILE:-coverage.out}"
-floor=scripts/coverage_floor.txt
+floor="${COVERAGE_FLOOR:-scripts/coverage_floor.txt}"
 
-go test -count=1 -coverprofile="$profile" ./... >/dev/null
+# COVERAGE_REUSE=1 skips the test run and reads an existing profile.
+# This exists for the gate's own regression tests (scripts/
+# coverage_gate_test.go), which feed synthetic profiles and floors —
+# without it the test would recurse into `go test ./...` forever.
+if [ -z "${COVERAGE_REUSE:-}" ]; then
+	go test -count=1 -coverprofile="$profile" ./... >/dev/null
+fi
 
 current=$(mktemp)
 trap 'rm -f "$current"' EXIT
@@ -75,11 +84,18 @@ while read -r pkg base; do
 $row"
 done <"$floor"
 
-# Surface packages the floor does not know about yet.
-awk 'NR == FNR { seen[$1] = 1; next } !($1 in seen) { print $1, $2 }' "$floor" "$current" |
-	while read -r pkg cur; do
-		echo "coverage_gate: note: $pkg ($cur%) has no floor entry; consider -update" >&2
+# Packages the floor does not know about FAIL the gate. A quiet note
+# here once let every package added after the floor was written ship
+# ungated — the `awk | while` subshell couldn't even have propagated a
+# fail flag. The flag is set in this shell, outside the pipeline.
+unknown=$(awk 'NR == FNR { seen[$1] = 1; next } !($1 in seen) { print $1, $2 }' "$floor" "$current")
+if [ -n "$unknown" ]; then
+	echo "$unknown" | while read -r pkg cur; do
+		echo "coverage_gate: FAIL $pkg ($cur%) has no floor entry and is not gated" >&2
 	done
+	echo "coverage_gate: run scripts/coverage_gate.sh -update and commit the new floor" >&2
+	fail=1
+fi
 
 echo "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -90,7 +106,7 @@ if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
 fi
 
 if [ "$fail" -ne 0 ]; then
-	echo "coverage_gate: coverage regressed below the committed floor" >&2
+	echo "coverage_gate: gate failed (regression below floor, or package missing a floor entry)" >&2
 	exit 1
 fi
 echo "coverage_gate: all packages at or above floor (1pt grace)"

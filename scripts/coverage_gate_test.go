@@ -1,0 +1,170 @@
+package scripts
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// syntheticProfile is a minimal merged coverprofile: package foo fully
+// covered (3 statements), package bar untested (4 statements). The
+// gate's awk pass turns this into foo 100.0, bar 0.0, total 42.9.
+const syntheticProfile = `mode: set
+repro/internal/foo/foo.go:1.1,2.2 3 1
+repro/internal/bar/bar.go:1.1,2.2 4 0
+`
+
+// fullFloor matches syntheticProfile exactly (sorted, as -update
+// writes it).
+const fullFloor = `repro/internal/bar 0.0
+repro/internal/foo 100.0
+total 42.9
+`
+
+// runGate executes coverage_gate.sh with a synthetic profile and floor,
+// bypassing the real `go test ./...` run via COVERAGE_REUSE. It returns
+// the combined output and whether the gate passed.
+func runGate(t *testing.T, profile, floor string, args ...string) (string, bool) {
+	t.Helper()
+	dir := t.TempDir()
+
+	profilePath := filepath.Join(dir, "coverage.out")
+	if err := os.WriteFile(profilePath, []byte(profile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	floorPath := filepath.Join(dir, "floor.txt")
+	if floor != "" {
+		if err := os.WriteFile(floorPath, []byte(floor), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	script, err := filepath.Abs("coverage_gate.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(script, args...)
+	cmd.Env = append(os.Environ(),
+		"COVERAGE_REUSE=1",
+		"COVERPROFILE="+profilePath,
+		"COVERAGE_FLOOR="+floorPath,
+		"GITHUB_STEP_SUMMARY=", // keep CI summaries out of unit tests
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			t.Fatalf("running %s: %v\n%s", script, err, out)
+		}
+	}
+	return string(out), err == nil
+}
+
+func TestGatePassesWhenFloorMatches(t *testing.T) {
+	out, ok := runGate(t, syntheticProfile, fullFloor)
+	if !ok {
+		t.Fatalf("gate failed on a floor matching the profile:\n%s", out)
+	}
+	if !strings.Contains(out, "all packages at or above floor") {
+		t.Fatalf("missing pass banner:\n%s", out)
+	}
+}
+
+// TestGateFailsOnUnknownPackage is the regression test for the silent-
+// skip bug: a package producing coverage but absent from the floor used
+// to print only a note (from inside a pipeline subshell, so even a fail
+// flag set there was lost) and the gate passed. It must fail loudly and
+// point at -update.
+func TestGateFailsOnUnknownPackage(t *testing.T) {
+	floorMissingBar := `repro/internal/foo 100.0
+total 42.9
+`
+	out, ok := runGate(t, syntheticProfile, floorMissingBar)
+	if ok {
+		t.Fatalf("gate passed with repro/internal/bar missing from the floor:\n%s", out)
+	}
+	if !strings.Contains(out, "repro/internal/bar") || !strings.Contains(out, "no floor entry") {
+		t.Fatalf("failure does not name the ungated package:\n%s", out)
+	}
+	if !strings.Contains(out, "-update") {
+		t.Fatalf("failure does not point at the -update fix:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	inflatedFloor := `repro/internal/bar 20.0
+repro/internal/foo 100.0
+total 42.9
+`
+	out, ok := runGate(t, syntheticProfile, inflatedFloor)
+	if ok {
+		t.Fatalf("gate passed though bar regressed 20 points below floor:\n%s", out)
+	}
+	if !strings.Contains(out, "regressed") {
+		t.Fatalf("missing regression diagnostic:\n%s", out)
+	}
+}
+
+func TestGateToleratesOnePointGrace(t *testing.T) {
+	graceFloor := `repro/internal/bar 0.9
+repro/internal/foo 100.0
+total 42.9
+`
+	out, ok := runGate(t, syntheticProfile, graceFloor)
+	if !ok {
+		t.Fatalf("gate failed though bar is within the 1pt grace:\n%s", out)
+	}
+}
+
+func TestGateFailsWhenFloorPackageVanishes(t *testing.T) {
+	floorWithGhost := fullFloor + `repro/internal/ghost 50.0
+`
+	out, ok := runGate(t, syntheticProfile, floorWithGhost)
+	if ok {
+		t.Fatalf("gate passed though a floored package produced no coverage:\n%s", out)
+	}
+	if !strings.Contains(out, "repro/internal/ghost") {
+		t.Fatalf("failure does not name the vanished package:\n%s", out)
+	}
+}
+
+func TestGateFailsWithoutFloorFile(t *testing.T) {
+	out, ok := runGate(t, syntheticProfile, "")
+	if ok {
+		t.Fatalf("gate passed with no floor file:\n%s", out)
+	}
+	if !strings.Contains(out, "-update") {
+		t.Fatalf("missing-floor failure does not point at -update:\n%s", out)
+	}
+}
+
+func TestUpdateRewritesFloor(t *testing.T) {
+	dir := t.TempDir()
+	profilePath := filepath.Join(dir, "coverage.out")
+	if err := os.WriteFile(profilePath, []byte(syntheticProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	floorPath := filepath.Join(dir, "floor.txt")
+
+	script, err := filepath.Abs("coverage_gate.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(script, "-update")
+	cmd.Env = append(os.Environ(),
+		"COVERAGE_REUSE=1",
+		"COVERPROFILE="+profilePath,
+		"COVERAGE_FLOOR="+floorPath,
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("-update failed: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(floorPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != fullFloor {
+		t.Fatalf("-update wrote:\n%s\nwant:\n%s", got, fullFloor)
+	}
+}

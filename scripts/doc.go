@@ -1,0 +1,7 @@
+// Package scripts holds the repository's shell gates and their Go
+// regression tests. The shell scripts themselves are the product; the
+// Go files here only exist so `go test ./scripts` can exercise them
+// against synthetic inputs (see coverage_gate_test.go, which drives
+// coverage_gate.sh through its COVERAGE_REUSE/COVERAGE_FLOOR test
+// knobs).
+package scripts

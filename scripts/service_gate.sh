@@ -1,0 +1,68 @@
+#!/bin/sh
+# service_gate.sh — the CI service-gate for pevpmd (docs/SERVICE.md,
+# docs/CI.md).
+#
+# Starts a real pevpmd server on an ephemeral port, then uses pevpmd's
+# own client modes against it:
+#
+#   1. -replay: every committed request in cmd/pevpmd/testdata is
+#      POSTed twice sequentially (the second must be a byte-identical
+#      response-cache hit) and twice concurrently (byte-identical
+#      again), then byte-diffed against the committed golden reply.
+#      The response-cache hit counter is asserted non-zero, proving
+#      cached requests skip prediction.
+#   2. -smoke N: N concurrent mixed requests; duplicates must dedupe
+#      to identical bytes; a cache-hit-rate and per-stage latency table
+#      lands in GITHUB_STEP_SUMMARY when CI provides one.
+#
+# Regenerate goldens after a deliberate response-schema change with:
+#   scripts/service_gate.sh -update-golden
+set -eu
+
+SMOKE_N="${SERVICE_SMOKE_N:-32}"
+UPDATE=""
+SMOKE_ONLY=""
+for arg in "$@"; do
+    case "$arg" in
+    -update-golden) UPDATE="-update-golden" ;;
+    -smoke-only) SMOKE_ONLY=1 ;;
+    *)
+        echo "service_gate: unknown argument $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+bin=$(mktemp -t pevpmd.XXXXXX)
+addrfile=$(mktemp -t pevpmd.addr.XXXXXX)
+rm -f "$addrfile"
+
+go build -o "$bin" ./cmd/pevpmd
+
+"$bin" -addr 127.0.0.1:0 -addr-file "$addrfile" &
+server_pid=$!
+cleanup() {
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    rm -f "$bin" "$addrfile"
+}
+trap cleanup EXIT INT TERM
+
+# Wait for the listener to publish its address.
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "service_gate: server never wrote $addrfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+target="http://$(cat "$addrfile")"
+
+if [ -z "$SMOKE_ONLY" ]; then
+    "$bin" -target "$target" -replay cmd/pevpmd/testdata $UPDATE
+fi
+"$bin" -target "$target" -replay cmd/pevpmd/testdata -smoke "$SMOKE_N"
+
+echo "service_gate: OK"
